@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench harness: fixed-width
+ * table printing, benchmark catalogs with the paper's reported numbers,
+ * and the computation-size (1/P_L) to instance mapping used by
+ * Figs. 16-17.
+ */
+
+#ifndef AUTOBRAID_BENCH_BENCH_UTIL_HPP
+#define AUTOBRAID_BENCH_BENCH_UTIL_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/text.hpp"
+#include "gen/registry.hpp"
+#include "lattice/surface_code.hpp"
+#include "sched/pipeline.hpp"
+
+namespace autobraid {
+namespace bench {
+
+/** True when the AB_QUICK environment variable asks for a fast run. */
+inline bool
+quickMode()
+{
+    const char *v = std::getenv("AB_QUICK");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/** Minimal fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    void
+    print() const
+    {
+        std::vector<size_t> width(header_.size());
+        for (size_t c = 0; c < header_.size(); ++c)
+            width[c] = header_[c].size();
+        for (const auto &row : rows_)
+            for (size_t c = 0; c < row.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+        auto print_row = [&width](const std::vector<std::string> &row) {
+            for (size_t c = 0; c < row.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            row[c].c_str());
+            std::printf("\n");
+        };
+        print_row(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto &row : rows_)
+            print_row(row);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** One Table 2 row: our spec plus the paper's reported numbers. */
+struct Table2Entry
+{
+    const char *type;      ///< paper's Type column
+    const char *name;      ///< paper's Name column
+    std::string spec;      ///< gen:: registry spec
+    double paper_speedup;  ///< paper's Speedup column (0 = N/A)
+    bool heavy;            ///< skipped in AB_QUICK mode
+};
+
+/** The full Table 2 benchmark list. */
+inline std::vector<Table2Entry>
+table2Entries()
+{
+    return {
+        {"Building Blocks", "4gt11_8", "revlib:4gt11_8", 2.32, false},
+        {"Building Blocks", "4gt5_75", "revlib:4gt5_75", 1.23, false},
+        {"Building Blocks", "alu-v0_26", "revlib:alu-v0_26", 1.21,
+         false},
+        {"Building Blocks", "rd32-v0", "revlib:rd32-v0", 2.2, false},
+        {"Building Blocks", "sqrt8_260", "revlib:sqrt8_260", 1.12,
+         false},
+        {"Building Blocks", "squar5_261", "revlib:squar5_261", 1.11,
+         false},
+        {"Building Blocks", "squar7", "revlib:squar7", 1.15, false},
+        {"Building Blocks", "urf1_278", "revlib:urf1_278", 1.52, true},
+        {"Building Blocks", "urf2_277", "revlib:urf2_277", 2.66, false},
+        {"Building Blocks", "urf5_158", "revlib:urf5_158", 1.35, true},
+        {"Building Blocks", "urf5_280", "revlib:urf5_280", 1.07, true},
+        {"Real World", "QFT-200", "qft:200", 2.31, false},
+        {"Real World", "QFT-400", "qft:400", 30.0, true},
+        {"Real World", "QFT-500", "qft:500", 0.0, true},
+        {"Real World", "BV-100", "bv:100", 1.13, false},
+        {"Real World", "BV-150", "bv:150", 1.11, false},
+        {"Real World", "BV-200", "bv:200", 1.11, false},
+        {"Real World", "CC-100", "cc:100", 1.12, false},
+        {"Real World", "CC-200", "cc:200", 1.16, false},
+        {"Real World", "CC-300", "cc:300", 1.16, false},
+        {"Real World", "IM-10", "im:10:13", 2.88, false},
+        {"Real World", "IM-500", "im:500:3", 2.09, false},
+        {"Real World", "IM-1000", "im:1000:3", 2.31, true},
+        {"Real World", "BWT-179", "bwt:179", 1.37, false},
+        {"Real World", "BWT-240", "bwt:240", 1.36, false},
+        {"Real World", "QAOA-100", "qaoa:100", 1.59, false},
+        {"Real World", "QAOA-200", "qaoa:200", 2.19, false},
+        {"Real World", "QAOA-300", "qaoa:300", 2.64, false},
+        {"Real World", "Shor-471", "shor:234", 3.29, true},
+    };
+}
+
+/** One Fig. 16/17 scaling point. */
+struct ScalePoint
+{
+    double inv_pl;  ///< computation size 1/P_L
+    int distance;   ///< code distance from eq. (1)
+    int qubits;     ///< instance size
+};
+
+/**
+ * Map computation sizes to instances of one application family: the
+ * circuit volume (~ gates) tracks 1/P_L, and d comes from eq. (1).
+ *
+ * @param family "qft", "im", or "qaoa"
+ */
+inline std::vector<ScalePoint>
+scalePoints(const std::string &family, bool quick)
+{
+    const SurfaceCodeParams params;
+    std::vector<double> sizes;
+    if (family == "qft")
+        sizes = quick ? std::vector<double>{1e3, 5e3}
+                      : std::vector<double>{1e3, 1e4, 5e4, 1e5};
+    else if (family == "im")
+        // 3.5e4 -> 5000 qubits, the paper's largest instance.
+        sizes = quick ? std::vector<double>{1e3, 1e4}
+                      : std::vector<double>{1e3, 1e4, 3.5e4};
+    else
+        sizes = quick ? std::vector<double>{1e3, 1e4}
+                      : std::vector<double>{1e3, 1e4, 4.5e4};
+
+    std::vector<ScalePoint> points;
+    for (double inv_pl : sizes) {
+        ScalePoint pt;
+        pt.inv_pl = inv_pl;
+        pt.distance = params.distanceFor(1.0 / inv_pl);
+        if (family == "qft") {
+            // gates ~ n^2 / 2
+            pt.qubits = std::max(
+                8, static_cast<int>(std::sqrt(2.0 * inv_pl)));
+        } else if (family == "im") {
+            // 2-step chain: ~7 gates per qubit
+            pt.qubits = std::max(8, static_cast<int>(inv_pl / 7.0));
+        } else {
+            // 8-round QAOA: ~45 gates per qubit
+            pt.qubits = std::max(8, static_cast<int>(inv_pl / 45.0));
+            pt.qubits += pt.qubits % 2; // even
+        }
+        points.push_back(pt);
+    }
+    return points;
+}
+
+/** Build the circuit for a scaling point. */
+inline Circuit
+scaleCircuit(const std::string &family, const ScalePoint &pt)
+{
+    if (family == "qft")
+        return gen::make("qft:" + std::to_string(pt.qubits));
+    if (family == "im")
+        return gen::make("im:" + std::to_string(pt.qubits) + ":2");
+    return gen::make("qaoa:" + std::to_string(pt.qubits));
+}
+
+} // namespace bench
+} // namespace autobraid
+
+#endif // AUTOBRAID_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 17: routing-resource utilization ratio (%)
+ * versus computation size 1/P_L. The utilization ratio is the fraction
+ * of channel-intersection vertices occupied by active braids: peak and
+ * time-weighted average are reported for the baseline and
+ * autobraid-full (paper: autobraid reaches up to ~70%, the baseline
+ * ~37%).
+ */
+
+#include "bench_util.hpp"
+
+using namespace autobraid;
+using namespace autobraid::bench;
+
+int
+main()
+{
+    const bool quick = quickMode();
+    std::printf("== Fig. 17: resource utilization (%%) vs computation "
+                "size 1/P_L ==%s\n\n",
+                quick ? " [AB_QUICK sweep]" : "");
+
+    double best_ours = 0, best_base = 0;
+    for (const std::string family : {"qft", "im", "qaoa"}) {
+        std::printf("-- %s --\n", family.c_str());
+        Table table({"1/P_L", "qubits", "baseline peak", "baseline avg",
+                     "autobraid peak", "autobraid avg"});
+        for (const ScalePoint &pt : scalePoints(family, quick)) {
+            const Circuit circuit = scaleCircuit(family, pt);
+            CostModel cost;
+            cost.distance = pt.distance;
+
+            CompileOptions base;
+            base.policy = SchedulerPolicy::Baseline;
+            base.cost = cost;
+            const CompileReport rb = compilePipeline(circuit, base);
+
+            CompileOptions full;
+            full.policy = SchedulerPolicy::AutobraidFull;
+            full.cost = cost;
+            const CompileReport rf = compilePipeline(circuit, full);
+
+            best_base =
+                std::max(best_base, rb.result.avg_utilization);
+            best_ours =
+                std::max(best_ours, rf.result.avg_utilization);
+
+            table.addRow(
+                {strformat("%.0e", pt.inv_pl),
+                 std::to_string(circuit.numQubits()),
+                 strformat("%.0f%%",
+                           100 * rb.result.peak_utilization),
+                 strformat("%.0f%%", 100 * rb.result.avg_utilization),
+                 strformat("%.0f%%",
+                           100 * rf.result.peak_utilization),
+                 strformat("%.0f%%",
+                           100 * rf.result.avg_utilization)});
+            std::fflush(stdout);
+        }
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("Shape check (paper: ours up to ~70%%, baseline "
+                "~37%%): max *sustained* (time-weighted average) "
+                "utilization — ours %.0f%%, baseline %.0f%%. On IM "
+                "autobraid needs *less* utilization because the snake "
+                "layout reduces every braid to a shared corner.\n",
+                100 * best_ours, 100 * best_base);
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot kernels: A* routing,
+ * interference-graph construction, the stack-based finder on random
+ * concurrent layers, LLG computation, DAG construction, and the
+ * annealer objective.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/dag.hpp"
+#include "common/rng.hpp"
+#include "gen/qft.hpp"
+#include "llg/llg.hpp"
+#include "place/annealer.hpp"
+#include "route/greedy_finder.hpp"
+#include "route/stack_finder.hpp"
+
+namespace {
+
+using namespace autobraid;
+
+/** Random disjoint-cell CX tasks on an LxL grid. */
+std::vector<CxTask>
+randomTasks(const Grid &grid, int count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<CellId> cells(static_cast<size_t>(grid.numCells()));
+    for (CellId c = 0; c < grid.numCells(); ++c)
+        cells[static_cast<size_t>(c)] = c;
+    rng.shuffle(cells);
+    std::vector<CxTask> tasks;
+    for (int i = 0;
+         i < count && 2 * i + 1 < static_cast<int>(cells.size()); ++i)
+        tasks.push_back(CxTask::make(
+            static_cast<GateIdx>(i),
+            grid.cell(cells[static_cast<size_t>(2 * i)]),
+            grid.cell(cells[static_cast<size_t>(2 * i + 1)])));
+    return tasks;
+}
+
+void
+BM_AStarRoute(benchmark::State &state)
+{
+    const int side = static_cast<int>(state.range(0));
+    Grid grid(side, side);
+    AStarRouter router(grid);
+    const auto free = [](VertexId) { return false; };
+    for (auto _ : state) {
+        auto p = router.route(Cell{0, 0}, Cell{side - 1, side - 1},
+                              free);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_AStarRoute)->Arg(10)->Arg(23)->Arg(45);
+
+void
+BM_StackFinderLayer(benchmark::State &state)
+{
+    const int side = 16;
+    Grid grid(side, side);
+    const auto tasks = randomTasks(
+        grid, static_cast<int>(state.range(0)), 42);
+    StackPathFinder finder(grid);
+    const auto free = [](VertexId) { return false; };
+    for (auto _ : state) {
+        auto outcome = finder.findPaths(tasks, free);
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(BM_StackFinderLayer)->Arg(8)->Arg(32)->Arg(96);
+
+void
+BM_GreedyFinderLayer(benchmark::State &state)
+{
+    const int side = 16;
+    Grid grid(side, side);
+    const auto tasks = randomTasks(
+        grid, static_cast<int>(state.range(0)), 42);
+    GreedyPathFinder finder(grid, GreedyOrder::Distance);
+    const auto free = [](VertexId) { return false; };
+    for (auto _ : state) {
+        auto outcome = finder.findPaths(tasks, free);
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(BM_GreedyFinderLayer)->Arg(8)->Arg(32)->Arg(96);
+
+void
+BM_ComputeLlgs(benchmark::State &state)
+{
+    Grid grid(32, 32);
+    const auto tasks = randomTasks(
+        grid, static_cast<int>(state.range(0)), 7);
+    for (auto _ : state) {
+        auto llgs = computeLlgs(tasks);
+        benchmark::DoNotOptimize(llgs);
+    }
+}
+BENCHMARK(BM_ComputeLlgs)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_InterferenceGraphBuild(benchmark::State &state)
+{
+    Grid grid(32, 32);
+    const auto tasks = randomTasks(
+        grid, static_cast<int>(state.range(0)), 7);
+    for (auto _ : state) {
+        InterferenceGraph ig(tasks);
+        benchmark::DoNotOptimize(ig);
+    }
+}
+BENCHMARK(BM_InterferenceGraphBuild)->Arg(64)->Arg(256);
+
+void
+BM_DagBuild(benchmark::State &state)
+{
+    const Circuit circuit =
+        gen::makeQft(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        Dag dag(circuit);
+        benchmark::DoNotOptimize(dag);
+    }
+}
+BENCHMARK(BM_DagBuild)->Arg(32)->Arg(100);
+
+void
+BM_LlgObjective(benchmark::State &state)
+{
+    const Circuit circuit =
+        gen::makeQft(static_cast<int>(state.range(0)));
+    Grid grid = Grid::forQubits(circuit.numQubits());
+    Placement placement(grid, circuit.numQubits());
+    for (auto _ : state) {
+        long obj = llgObjective(circuit, placement, 16);
+        benchmark::DoNotOptimize(obj);
+    }
+}
+BENCHMARK(BM_LlgObjective)->Arg(16)->Arg(50);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces paper Table 2: "Overview of Experiment Results".
+ *
+ * For every benchmark: qubit count, gate count, ideal critical path
+ * (CP), the GP-with-initial-mapping baseline, autobraid-full, our
+ * speedup, and the paper's reported speedup for comparison. Also prints
+ * the paper's compilation-time claim check (compile time as a fraction
+ * of physical execution time).
+ *
+ * Set AB_QUICK=1 to skip the largest instances.
+ */
+
+#include "bench_util.hpp"
+
+using namespace autobraid;
+using namespace autobraid::bench;
+
+int
+main()
+{
+    const bool quick = quickMode();
+    std::printf("== Table 2: overview of experiment results ==\n");
+    std::printf("(CP = ideal critical path; paper column = speedup "
+                "reported in the paper)%s\n\n",
+                quick ? " [AB_QUICK subset]" : "");
+
+    Table table({"Type", "Name", "#qubit", "#gate", "CP(us)",
+                 "GP w initM(us)", "AutoBraid(us)", "Speedup",
+                 "Paper", "Compile(s)"});
+
+    std::vector<double> deep_fractions;
+
+    for (const Table2Entry &entry : table2Entries()) {
+        if (quick && entry.heavy)
+            continue;
+        const Circuit circuit = gen::make(entry.spec);
+
+        CompileOptions base;
+        base.policy = SchedulerPolicy::Baseline;
+        const CompileReport rb = compilePipeline(circuit, base);
+
+        CompileOptions full;
+        full.policy = SchedulerPolicy::AutobraidFull;
+        const CompileReport rf = compilePipeline(circuit, full);
+
+        const double b_us = rb.micros(base.cost);
+        const double f_us = rf.micros(full.cost);
+        const double speedup = b_us / f_us;
+        // Compile wall-clock vs physical execution time (paper: ~1-2%
+        // for its deep circuits). Only circuits with >= 1 s of
+        // physical time make that ratio meaningful.
+        const double phys_seconds = full.cost.seconds(
+            rf.result.makespan);
+        if (phys_seconds >= 1.0)
+            deep_fractions.push_back(100.0 * rf.total_seconds /
+                                     phys_seconds);
+
+        table.addRow({entry.type, entry.name,
+                      std::to_string(circuit.numQubits()),
+                      humanQuantity(
+                          static_cast<double>(circuit.size())),
+                      humanMicros(rf.cpMicros(full.cost)),
+                      humanMicros(b_us), humanMicros(f_us),
+                      strformat("%.2f", speedup),
+                      entry.paper_speedup > 0
+                          ? strformat("%.2f", entry.paper_speedup)
+                          : std::string("OM"),
+                      strformat("%.2f", rf.total_seconds)});
+        std::fflush(stdout);
+    }
+    table.print();
+
+    if (!deep_fractions.empty()) {
+        std::sort(deep_fractions.begin(), deep_fractions.end());
+        std::printf("\nCompilation-time analysis (paper section 4.2): "
+                    "median compile time = %.1f%% of physical "
+                    "execution time over the %zu circuits with >= 1 s "
+                    "of physical time (paper: ~1-2%%).\n",
+                    deep_fractions[deep_fractions.size() / 2],
+                    deep_fractions.size());
+    }
+    std::printf("Gate counts are post-decomposition (CPhase = 2 CX + "
+                "3 RZ, Toffoli = 6 CX + 7 T); the paper counts "
+                "pre-decomposition gates.\n");
+    return 0;
+}

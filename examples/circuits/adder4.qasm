@@ -1,0 +1,35 @@
+// 4-bit ripple-carry adder (Cuccaro-style MAJ/UMA chain), a + b -> b.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[4];
+qreg b[4];
+qreg cin[1];
+qreg cout[1];
+creg result[5];
+
+gate maj x, y, z
+{
+    cx z, y;
+    cx z, x;
+    ccx x, y, z;
+}
+
+gate uma x, y, z
+{
+    ccx x, y, z;
+    cx z, x;
+    cx x, y;
+}
+
+maj cin[0], b[0], a[0];
+maj a[0], b[1], a[1];
+maj a[1], b[2], a[2];
+maj a[2], b[3], a[3];
+cx a[3], cout[0];
+uma a[2], b[3], a[3];
+uma a[1], b[2], a[2];
+uma a[0], b[1], a[1];
+uma cin[0], b[0], a[0];
+
+measure b -> result;
+measure cout[0] -> result[4];

@@ -1,0 +1,31 @@
+// 3-qubit Grover search (one iteration, |101> oracle) plus an ancilla.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+qreg anc[1];
+creg c[3];
+
+// Prepare the ancilla in |->.
+x anc[0];
+h anc[0];
+
+// Uniform superposition.
+h q;
+
+// Oracle for |101>: flip anc when q = 101.
+x q[1];
+ccx q[0], q[1], q[2];
+cx q[2], anc[0];
+ccx q[0], q[1], q[2];
+x q[1];
+
+// Diffusion.
+h q;
+x q;
+h q[2];
+ccx q[0], q[1], q[2];
+h q[2];
+x q;
+h q;
+
+measure q -> c;

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scheduling around lattice defects.
+ *
+ * Real hardware has fabrication defects and high-error patches that
+ * make some channel intersections unusable. This example injects an
+ * increasing number of random defects into the lattice (always keeping
+ * every tile reachable), recompiles the same circuit, and shows how
+ * the scheduler routes around the damage: the schedule stays legal,
+ * latency degrades gracefully, and the ASCII view marks dead vertices
+ * with 'X'.
+ *
+ * Run: ./defective_lattice [spec]   (default im:36:3)
+ */
+
+#include <cstdio>
+
+#include "gen/registry.hpp"
+#include "lattice/defects.hpp"
+#include "sched/pipeline.hpp"
+#include "viz/ascii.hpp"
+
+using namespace autobraid;
+
+int
+main(int argc, char **argv)
+{
+    const std::string spec = argc > 1 ? argv[1] : "im:36:3";
+    const Circuit circuit = gen::make(spec);
+    const Grid grid = Grid::forQubits(circuit.numQubits());
+
+    std::printf("%s on a %dx%d tile grid (%d routing vertices)\n\n",
+                circuit.name().c_str(), grid.rows(), grid.cols(),
+                grid.numVertices());
+    std::printf("%8s %12s %10s %10s\n", "defects", "makespan(us)",
+                "vs clean", "failures");
+
+    double clean_us = 0;
+    for (int defects : {0, 2, 4, 8, 12}) {
+        Rng rng(1000 + static_cast<uint64_t>(defects));
+        const DefectMap map =
+            DefectMap::random(grid, defects, rng);
+
+        CompileOptions opt;
+        opt.policy = SchedulerPolicy::AutobraidFull;
+        opt.dead_vertices = map.deadVertices();
+        const CompileReport report = compilePipeline(circuit, opt);
+        const double us = report.micros(opt.cost);
+        if (defects == 0)
+            clean_us = us;
+
+        std::printf("%8zu %12.0f %9.2fx %10zu\n", map.deadCount(),
+                    us, us / clean_us,
+                    report.result.routing_failures);
+
+        if (defects == 12) {
+            std::printf("\nlattice with %zu dead vertices "
+                        "('X'):\n%s",
+                        map.deadCount(),
+                        viz::renderPaths(grid, {}, &map).c_str());
+        }
+    }
+    std::printf("\nEvery schedule above is congestion-legal; the "
+                "router simply pays longer paths and extra windows "
+                "around the damage.\n");
+    return 0;
+}

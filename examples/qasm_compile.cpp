@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Compile OpenQASM 2.0 files into braid schedules.
+ *
+ * Usage: ./qasm_compile [file.qasm ...]
+ * With no arguments it compiles the bundled sample circuits
+ * (circuits/grover3.qasm and circuits/adder4.qasm).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/error.hpp"
+#include "qasm/elaborator.hpp"
+#include "sched/pipeline.hpp"
+
+using namespace autobraid;
+
+namespace {
+
+void
+compileFile(const std::string &path)
+{
+    const Circuit circuit = qasm::loadCircuit(path);
+    std::printf("%s: %d qubits, %zu gates (%zu two-qubit)\n",
+                path.c_str(), circuit.numQubits(), circuit.size(),
+                circuit.twoQubitCount());
+
+    for (SchedulerPolicy policy :
+         {SchedulerPolicy::Baseline, SchedulerPolicy::AutobraidFull}) {
+        CompileOptions options;
+        options.policy = policy;
+        const CompileReport report = compilePipeline(circuit, options);
+        std::printf("  %-15s makespan=%8.0f us  (CP %8.0f us, "
+                    "%.2fx)  compile=%.3fs\n",
+                    policyName(policy), report.micros(options.cost),
+                    report.cpMicros(options.cost), report.cpRatio(),
+                    report.total_seconds);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i)
+        files.emplace_back(argv[i]);
+    if (files.empty())
+        files = {"circuits/grover3.qasm", "circuits/adder4.qasm"};
+
+    for (const std::string &path : files) {
+        try {
+            compileFile(path);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name))
+{
+    if (num_qubits <= 0)
+        fatal("Circuit requires a positive qubit count, got %d",
+              num_qubits);
+}
+
+GateIdx
+Circuit::add(const Gate &g)
+{
+    if (g.q0 < 0 || g.q0 >= num_qubits_ ||
+        (g.q1 != kNoQubit && (g.q1 < 0 || g.q1 >= num_qubits_))) {
+        fatal("gate '%s' references a qubit outside [0, %d)",
+              g.toString().c_str(), num_qubits_);
+    }
+    gates_.push_back(g);
+    return gates_.size() - 1;
+}
+
+void
+Circuit::cphase(Qubit a, Qubit b, double angle)
+{
+    // Standard decomposition: CP(theta) = RZ(t/2) RZ(t/2) CX RZ(-t/2) CX.
+    rz(a, angle / 2);
+    rz(b, angle / 2);
+    cx(a, b);
+    rz(b, -angle / 2);
+    cx(a, b);
+}
+
+void
+Circuit::cz(Qubit a, Qubit b)
+{
+    h(b);
+    cx(a, b);
+    h(b);
+}
+
+void
+Circuit::ccx(Qubit a, Qubit b, Qubit target)
+{
+    if (a == b || a == target || b == target)
+        fatal("ccx requires three distinct qubits (%d, %d, %d)",
+              a, b, target);
+    // Standard 6-CX, 7-T Toffoli network (Nielsen & Chuang fig. 4.9).
+    h(target);
+    cx(b, target);
+    tdg(target);
+    cx(a, target);
+    t(target);
+    cx(b, target);
+    tdg(target);
+    cx(a, target);
+    t(b);
+    t(target);
+    h(target);
+    cx(a, b);
+    t(a);
+    tdg(b);
+    cx(a, b);
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    if (other.num_qubits_ > num_qubits_)
+        fatal("cannot append a %d-qubit circuit onto %d qubits",
+              other.num_qubits_, num_qubits_);
+    gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+size_t
+Circuit::cxCount() const
+{
+    size_t n = 0;
+    for (const Gate &g : gates_) {
+        if (g.kind == GateKind::CX)
+            ++n;
+        else if (g.kind == GateKind::Swap)
+            n += 3;
+    }
+    return n;
+}
+
+size_t
+Circuit::twoQubitCount() const
+{
+    size_t n = 0;
+    for (const Gate &g : gates_)
+        if (isTwoQubit(g.kind))
+            ++n;
+    return n;
+}
+
+size_t
+Circuit::oneQubitCount() const
+{
+    size_t n = 0;
+    for (const Gate &g : gates_)
+        if (!isTwoQubit(g.kind) && g.kind != GateKind::Barrier)
+            ++n;
+    return n;
+}
+
+size_t
+Circuit::unitDepth() const
+{
+    std::vector<size_t> depth(static_cast<size_t>(num_qubits_), 0);
+    size_t max_depth = 0;
+    for (const Gate &g : gates_) {
+        size_t d = depth[static_cast<size_t>(g.q0)];
+        if (g.q1 != kNoQubit)
+            d = std::max(d, depth[static_cast<size_t>(g.q1)]);
+        ++d;
+        depth[static_cast<size_t>(g.q0)] = d;
+        if (g.q1 != kNoQubit)
+            depth[static_cast<size_t>(g.q1)] = d;
+        max_depth = std::max(max_depth, d);
+    }
+    return max_depth;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string out = name_ + " (" + std::to_string(num_qubits_) +
+                      " qubits, " + std::to_string(gates_.size()) +
+                      " gates)\n";
+    for (const Gate &g : gates_)
+        out += "  " + g.toString() + "\n";
+    return out;
+}
+
+} // namespace autobraid

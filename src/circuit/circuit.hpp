@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Circuit container: an ordered gate list over a fixed set of logical
+ * qubits, with fluent builder helpers and summary statistics. This is the
+ * interchange type between the QASM front end, the benchmark generators,
+ * and the braid scheduler.
+ */
+
+#ifndef AUTOBRAID_CIRCUIT_CIRCUIT_HPP
+#define AUTOBRAID_CIRCUIT_CIRCUIT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace autobraid {
+
+/** Index of a gate within a circuit's gate list. */
+using GateIdx = size_t;
+
+/** An ordered logical circuit over @c numQubits() qubits. */
+class Circuit
+{
+  public:
+    /** Create an empty circuit. @param name label used in reports. */
+    explicit Circuit(int num_qubits, std::string name = "circuit");
+
+    /** Circuit label (benchmark name in the harness). */
+    const std::string &name() const { return name_; }
+
+    /** Rename the circuit. */
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Number of logical qubits. */
+    int numQubits() const { return num_qubits_; }
+
+    /** Number of gates. */
+    size_t size() const { return gates_.size(); }
+
+    /** All gates in program order. */
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Gate at index @p i. */
+    const Gate &gate(GateIdx i) const { return gates_[i]; }
+
+    /** Append a validated gate; returns its index. */
+    GateIdx add(const Gate &g);
+
+    /** @name Fluent builder helpers (each returns the new gate's index). */
+    /// @{
+    GateIdx x(Qubit q) { return add(Gate::oneQubit(GateKind::X, q)); }
+    GateIdx y(Qubit q) { return add(Gate::oneQubit(GateKind::Y, q)); }
+    GateIdx z(Qubit q) { return add(Gate::oneQubit(GateKind::Z, q)); }
+    GateIdx h(Qubit q) { return add(Gate::oneQubit(GateKind::H, q)); }
+    GateIdx s(Qubit q) { return add(Gate::oneQubit(GateKind::S, q)); }
+    GateIdx sdg(Qubit q) { return add(Gate::oneQubit(GateKind::Sdg, q)); }
+    GateIdx t(Qubit q) { return add(Gate::oneQubit(GateKind::T, q)); }
+    GateIdx tdg(Qubit q) { return add(Gate::oneQubit(GateKind::Tdg, q)); }
+    GateIdx rx(Qubit q, double a)
+    { return add(Gate::oneQubit(GateKind::RX, q, a)); }
+    GateIdx ry(Qubit q, double a)
+    { return add(Gate::oneQubit(GateKind::RY, q, a)); }
+    GateIdx rz(Qubit q, double a)
+    { return add(Gate::oneQubit(GateKind::RZ, q, a)); }
+    GateIdx measure(Qubit q)
+    { return add(Gate::oneQubit(GateKind::Measure, q)); }
+    GateIdx cx(Qubit c, Qubit t)
+    { return add(Gate::twoQubit(GateKind::CX, c, t)); }
+    GateIdx swap(Qubit a, Qubit b)
+    { return add(Gate::twoQubit(GateKind::Swap, a, b)); }
+    /// @}
+
+    /** Append a controlled-phase gate decomposed as 2 CX + 3 RZ. */
+    void cphase(Qubit a, Qubit b, double angle);
+
+    /** Append a CZ gate decomposed as H - CX - H on the target. */
+    void cz(Qubit a, Qubit b);
+
+    /** Append a Toffoli (CCX) in the standard 6-CX + 7-T decomposition. */
+    void ccx(Qubit a, Qubit b, Qubit target);
+
+    /** Append every gate of @p other (qubit indices must fit). */
+    void append(const Circuit &other);
+
+    /** Number of CX gates (Swap counts as 3, per the paper's model). */
+    size_t cxCount() const;
+
+    /** Number of two-qubit gates (CX and Swap instances). */
+    size_t twoQubitCount() const;
+
+    /** Number of single-qubit gates. */
+    size_t oneQubitCount() const;
+
+    /** Gate-count depth (unit-latency longest dependence chain). */
+    size_t unitDepth() const;
+
+    /** Multi-line textual dump (tests and examples). */
+    std::string toString() const;
+
+  private:
+    int num_qubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_CIRCUIT_CIRCUIT_HPP

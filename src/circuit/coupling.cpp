@@ -1,0 +1,113 @@
+#include "circuit/coupling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+CouplingGraph::CouplingGraph(const Circuit &circuit)
+    : adj_(static_cast<size_t>(circuit.numQubits()))
+{
+    for (const Gate &g : circuit.gates())
+        if (needsBraid(g.kind))
+            addEdge(g.q0, g.q1);
+}
+
+CouplingGraph::CouplingGraph(int num_qubits)
+    : adj_(static_cast<size_t>(num_qubits))
+{
+    if (num_qubits <= 0)
+        fatal("CouplingGraph requires a positive qubit count, got %d",
+              num_qubits);
+}
+
+void
+CouplingGraph::addEdge(Qubit a, Qubit b, int w)
+{
+    if (a == b)
+        fatal("CouplingGraph::addEdge: self edge on q%d", a);
+    if (a < 0 || b < 0 || a >= numQubits() || b >= numQubits())
+        fatal("CouplingGraph::addEdge: qubit out of range (%d, %d)", a, b);
+    auto bump = [w](std::vector<std::pair<Qubit, int>> &list,
+                    Qubit other) -> bool {
+        for (auto &[n, weight] : list) {
+            if (n == other) {
+                weight += w;
+                return false;
+            }
+        }
+        list.emplace_back(other, w);
+        return true;
+    };
+    const bool created = bump(adj_[static_cast<size_t>(a)], b);
+    bump(adj_[static_cast<size_t>(b)], a);
+    if (created)
+        ++num_edges_;
+}
+
+const std::vector<std::pair<Qubit, int>> &
+CouplingGraph::neighbors(Qubit q) const
+{
+    require(q >= 0 && q < numQubits(), "CouplingGraph: qubit out of range");
+    return adj_[static_cast<size_t>(q)];
+}
+
+int
+CouplingGraph::edgeWeight(Qubit a, Qubit b) const
+{
+    for (const auto &[n, w] : neighbors(a))
+        if (n == b)
+            return w;
+    return 0;
+}
+
+int
+CouplingGraph::degree(Qubit q) const
+{
+    return static_cast<int>(neighbors(q).size());
+}
+
+int
+CouplingGraph::maxDegree() const
+{
+    int d = 0;
+    for (Qubit q = 0; q < numQubits(); ++q)
+        d = std::max(d, degree(q));
+    return d;
+}
+
+double
+CouplingGraph::density() const
+{
+    const long n = numQubits();
+    if (n < 2)
+        return 0.0;
+    const double possible = 0.5 * static_cast<double>(n) *
+                            static_cast<double>(n - 1);
+    return static_cast<double>(num_edges_) / possible;
+}
+
+bool
+CouplingGraph::isMaxDegreeTwo() const
+{
+    return maxDegree() <= 2;
+}
+
+bool
+CouplingGraph::isAllToAllLike(double threshold) const
+{
+    return density() >= threshold;
+}
+
+long
+CouplingGraph::totalWeight() const
+{
+    long sum = 0;
+    for (const auto &list : adj_)
+        for (const auto &[n, w] : list)
+            sum += w;
+    return sum / 2;
+}
+
+} // namespace autobraid

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Qubit coupling graph.
+ *
+ * Nodes are logical qubits; an edge connects two qubits when at least one
+ * CX acts on them, weighted by the CX count (paper §3.3 stage 2). The
+ * initial-placement partitioner consumes this graph, and its shape selects
+ * special-case strategies: max degree <= 2 graphs get the snake layout,
+ * near-complete graphs trigger the Maslov swap network comparison.
+ */
+
+#ifndef AUTOBRAID_CIRCUIT_COUPLING_HPP
+#define AUTOBRAID_CIRCUIT_COUPLING_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+
+/** Weighted undirected interaction graph over logical qubits. */
+class CouplingGraph
+{
+  public:
+    /** Build from the CX/Swap gates of @p circuit. */
+    explicit CouplingGraph(const Circuit &circuit);
+
+    /** Build an empty graph over @p num_qubits qubits (for tests). */
+    explicit CouplingGraph(int num_qubits);
+
+    /** Number of qubits (nodes). */
+    int numQubits() const { return static_cast<int>(adj_.size()); }
+
+    /** Number of distinct edges. */
+    size_t numEdges() const { return num_edges_; }
+
+    /** Add weight @p w to edge (a, b), creating it if absent. */
+    void addEdge(Qubit a, Qubit b, int w = 1);
+
+    /** Neighbors of @p q as (qubit, weight) pairs. */
+    const std::vector<std::pair<Qubit, int>> &neighbors(Qubit q) const;
+
+    /** Weight of edge (a, b); 0 when absent. */
+    int edgeWeight(Qubit a, Qubit b) const;
+
+    /** Degree (distinct neighbors) of @p q. */
+    int degree(Qubit q) const;
+
+    /** Largest degree over all qubits. */
+    int maxDegree() const;
+
+    /** Edge density: numEdges / C(n, 2); 0 for n < 2. */
+    double density() const;
+
+    /** True when every qubit has degree <= 2 (path/cycle coupling). */
+    bool isMaxDegreeTwo() const;
+
+    /**
+     * True when the interaction pattern is effectively all-to-all —
+     * density at least @p threshold. QFT and dense QAOA instances
+     * qualify; they are the paper's Maslov-network candidates.
+     */
+    bool isAllToAllLike(double threshold = 0.5) const;
+
+    /** Sum of all edge weights (total CX volume). */
+    long totalWeight() const;
+
+  private:
+    std::vector<std::vector<std::pair<Qubit, int>>> adj_;
+    size_t num_edges_ = 0;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_CIRCUIT_COUPLING_HPP

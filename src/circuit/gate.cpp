@@ -1,0 +1,92 @@
+#include "circuit/gate.hpp"
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+
+const char *
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I: return "id";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::H: return "h";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::Measure: return "measure";
+      case GateKind::CX: return "cx";
+      case GateKind::Swap: return "swap";
+      case GateKind::Barrier: return "barrier";
+    }
+    panic("gateName: unknown GateKind %d", static_cast<int>(kind));
+}
+
+bool
+isTwoQubit(GateKind kind)
+{
+    return kind == GateKind::CX || kind == GateKind::Swap;
+}
+
+bool
+needsBraid(GateKind kind)
+{
+    return kind == GateKind::CX || kind == GateKind::Swap;
+}
+
+Gate
+Gate::oneQubit(GateKind kind, Qubit q, double angle)
+{
+    if (isTwoQubit(kind))
+        panic("Gate::oneQubit called with two-qubit kind %s",
+              gateName(kind));
+    if (q < 0)
+        fatal("Gate::oneQubit: negative qubit index %d", q);
+    Gate g;
+    g.kind = kind;
+    g.q0 = q;
+    g.angle = angle;
+    return g;
+}
+
+Gate
+Gate::twoQubit(GateKind kind, Qubit a, Qubit b)
+{
+    if (!isTwoQubit(kind) && kind != GateKind::Barrier)
+        panic("Gate::twoQubit called with one-qubit kind %s",
+              gateName(kind));
+    if (a < 0 || b < 0)
+        fatal("Gate::twoQubit: negative qubit index (%d, %d)", a, b);
+    if (a == b)
+        fatal("Gate::twoQubit: duplicate operand q%d", a);
+    Gate g;
+    g.kind = kind;
+    g.q0 = a;
+    g.q1 = b;
+    return g;
+}
+
+std::string
+Gate::toString() const
+{
+    if (q1 == kNoQubit) {
+        switch (kind) {
+          case GateKind::RX:
+          case GateKind::RY:
+          case GateKind::RZ:
+            return strformat("%s(%g) q%d", gateName(kind), angle, q0);
+          default:
+            return strformat("%s q%d", gateName(kind), q0);
+        }
+    }
+    return strformat("%s q%d, q%d", gateName(kind), q0, q1);
+}
+
+} // namespace autobraid

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Logical-circuit gate representation.
+ *
+ * AutoBraid schedules circuits already lowered to a fault-tolerant basis:
+ * single-qubit Cliffords (X/Y/Z/H/S), T gates (consuming magic states),
+ * axis rotations (synthesized from T gates; the paper assumes a steady
+ * magic-state supply at the data so they carry a small constant cost),
+ * measurement, and the two-qubit CX. SWAP is kept as a first-class kind
+ * because the dynamic layout optimizer inserts SWAPs and accounts for them
+ * as three CX gates holding one braiding path.
+ */
+
+#ifndef AUTOBRAID_CIRCUIT_GATE_HPP
+#define AUTOBRAID_CIRCUIT_GATE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace autobraid {
+
+/** Index of a logical qubit within a circuit. */
+using Qubit = int32_t;
+
+/** Sentinel for "no second operand". */
+constexpr Qubit kNoQubit = -1;
+
+/** The fault-tolerant gate basis understood by the scheduler. */
+enum class GateKind : uint8_t {
+    I,       ///< identity (used by tests)
+    X,       ///< Pauli-X (tracked in the Pauli frame, zero latency)
+    Y,       ///< Pauli-Y
+    Z,       ///< Pauli-Z
+    H,       ///< Hadamard (local boundary deformation, ~d cycles)
+    S,       ///< phase S
+    Sdg,     ///< S-dagger
+    T,       ///< T gate (magic state injection)
+    Tdg,     ///< T-dagger
+    RX,      ///< X-axis rotation
+    RY,      ///< Y-axis rotation
+    RZ,      ///< Z-axis rotation
+    Measure, ///< computational-basis measurement
+    CX,      ///< controlled-NOT; the only gate requiring a braiding path
+    Swap,    ///< logical SWAP; expands to 3 CX on one held path
+    Barrier, ///< scheduling barrier across its operands (zero latency)
+};
+
+/** @return the lowercase QASM-style mnemonic for @p kind. */
+const char *gateName(GateKind kind);
+
+/** @return true when @p kind acts on two qubits (CX / Swap / Barrier2). */
+bool isTwoQubit(GateKind kind);
+
+/** @return true when @p kind requires a braiding path (CX or Swap). */
+bool needsBraid(GateKind kind);
+
+/**
+ * One gate instance. Plain value type; circuits store gates contiguously.
+ */
+struct Gate
+{
+    GateKind kind = GateKind::I;
+    Qubit q0 = kNoQubit;     ///< target (1q) or control (CX)
+    Qubit q1 = kNoQubit;     ///< target for two-qubit kinds, else kNoQubit
+    double angle = 0.0;      ///< rotation angle for RX/RY/RZ
+
+    /** Construct a single-qubit gate. */
+    static Gate oneQubit(GateKind kind, Qubit q, double angle = 0.0);
+
+    /** Construct a two-qubit gate (CX control/target or Swap pair). */
+    static Gate twoQubit(GateKind kind, Qubit a, Qubit b);
+
+    /** @return true when this gate touches @p q. */
+    bool touches(Qubit q) const { return q0 == q || q1 == q; }
+
+    /** @return number of operand qubits (1 or 2). */
+    int arity() const { return q1 == kNoQubit ? 1 : 2; }
+
+    /** Human-readable rendering, e.g. "cx q3, q7". */
+    std::string toString() const;
+
+    bool operator==(const Gate &other) const = default;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_CIRCUIT_GATE_HPP

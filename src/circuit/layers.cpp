@@ -1,0 +1,43 @@
+#include "circuit/layers.hpp"
+
+#include <algorithm>
+
+namespace autobraid {
+
+std::vector<std::vector<GateIdx>>
+asapLayers(const Circuit &circuit)
+{
+    std::vector<size_t> qubit_depth(
+        static_cast<size_t>(circuit.numQubits()), 0);
+    std::vector<std::vector<GateIdx>> layers;
+    for (GateIdx g = 0; g < circuit.size(); ++g) {
+        const Gate &gate = circuit.gate(g);
+        size_t d = qubit_depth[static_cast<size_t>(gate.q0)];
+        if (gate.q1 != kNoQubit)
+            d = std::max(d, qubit_depth[static_cast<size_t>(gate.q1)]);
+        if (d >= layers.size())
+            layers.resize(d + 1);
+        layers[d].push_back(g);
+        qubit_depth[static_cast<size_t>(gate.q0)] = d + 1;
+        if (gate.q1 != kNoQubit)
+            qubit_depth[static_cast<size_t>(gate.q1)] = d + 1;
+    }
+    return layers;
+}
+
+std::vector<std::vector<GateIdx>>
+concurrentCxSets(const Circuit &circuit)
+{
+    std::vector<std::vector<GateIdx>> sets;
+    for (auto &layer : asapLayers(circuit)) {
+        std::vector<GateIdx> cxs;
+        for (GateIdx g : layer)
+            if (needsBraid(circuit.gate(g).kind))
+                cxs.push_back(g);
+        if (!cxs.empty())
+            sets.push_back(std::move(cxs));
+    }
+    return sets;
+}
+
+} // namespace autobraid

@@ -1,0 +1,93 @@
+#include "circuit/stats.hpp"
+
+#include "circuit/coupling.hpp"
+#include "circuit/layers.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+
+CircuitStats
+analyzeCircuit(const Circuit &circuit)
+{
+    CircuitStats stats;
+    stats.num_qubits = circuit.numQubits();
+    stats.num_gates = circuit.size();
+    stats.unit_depth = circuit.unitDepth();
+
+    for (const Gate &g : circuit.gates()) {
+        ++stats.kind_histogram[g.kind];
+        if (isTwoQubit(g.kind))
+            ++stats.two_qubit_gates;
+        else if (g.kind != GateKind::Barrier)
+            ++stats.one_qubit_gates;
+        switch (g.kind) {
+          case GateKind::T:
+          case GateKind::Tdg:
+          case GateKind::RX:
+          case GateKind::RY:
+          case GateKind::RZ:
+            ++stats.t_like_gates;
+            break;
+          case GateKind::Measure:
+            ++stats.measurements;
+            break;
+          default:
+            break;
+        }
+    }
+
+    const auto sets = concurrentCxSets(circuit);
+    stats.cx_layers = sets.size();
+    size_t total = 0;
+    for (const auto &set : sets) {
+        stats.max_cx_parallelism =
+            std::max(stats.max_cx_parallelism, set.size());
+        total += set.size();
+    }
+    if (!sets.empty())
+        stats.avg_cx_parallelism =
+            static_cast<double>(total) /
+            static_cast<double>(sets.size());
+
+    const CouplingGraph coupling(circuit);
+    stats.coupling_max_degree = coupling.maxDegree();
+    stats.coupling_density = coupling.density();
+    long degree_sum = 0;
+    for (Qubit q = 0; q < circuit.numQubits(); ++q)
+        degree_sum += coupling.degree(q);
+    stats.interaction_degree =
+        static_cast<double>(degree_sum) /
+        static_cast<double>(circuit.numQubits());
+    return stats;
+}
+
+std::string
+CircuitStats::toString() const
+{
+    std::string out;
+    out += strformat("qubits              %d\n", num_qubits);
+    out += strformat("gates               %zu (1q %zu, 2q %zu, "
+                     "T-like %zu, measure %zu)\n",
+                     num_gates, one_qubit_gates, two_qubit_gates,
+                     t_like_gates, measurements);
+    out += strformat("unit depth          %zu\n", unit_depth);
+    out += strformat("CX layers           %zu\n", cx_layers);
+    out += strformat("CX parallelism      max %zu, avg %.2f\n",
+                     max_cx_parallelism, avg_cx_parallelism);
+    out += strformat("coupling            degree avg %.2f / max %d, "
+                     "density %.3f\n",
+                     interaction_degree, coupling_max_degree,
+                     coupling_density);
+    out += "gate histogram      ";
+    bool first = true;
+    for (const auto &[kind, count] : kind_histogram) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += strformat("%s:%zu", gateName(kind), count);
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace autobraid

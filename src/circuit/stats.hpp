@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Circuit statistics: gate-kind histogram, parallelism profile
+ * (how many CX gates are theoretically concurrent per layer), and the
+ * qubit-interaction distance profile. These are the quantities the
+ * paper's analysis stage reads off a program before scheduling —
+ * BV-style circuits show parallelism 1, Ising ~n/2, QFT in between —
+ * and the CLI exposes them via --stats.
+ */
+
+#ifndef AUTOBRAID_CIRCUIT_STATS_HPP
+#define AUTOBRAID_CIRCUIT_STATS_HPP
+
+#include <map>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+
+/** Aggregate statistics of one circuit. */
+struct CircuitStats
+{
+    int num_qubits = 0;
+    size_t num_gates = 0;
+    size_t one_qubit_gates = 0;
+    size_t two_qubit_gates = 0;   ///< CX + Swap instances
+    size_t t_like_gates = 0;      ///< T/Tdg/rotations (magic states)
+    size_t measurements = 0;
+    size_t unit_depth = 0;        ///< unit-latency circuit depth
+    size_t cx_layers = 0;         ///< layers containing >= 1 CX
+    size_t max_cx_parallelism = 0; ///< widest concurrent CX set
+    double avg_cx_parallelism = 0; ///< mean over CX layers
+    double interaction_degree = 0; ///< mean coupling-graph degree
+    int coupling_max_degree = 0;
+    double coupling_density = 0;
+    std::map<GateKind, size_t> kind_histogram;
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Compute statistics for @p circuit. */
+CircuitStats analyzeCircuit(const Circuit &circuit);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_CIRCUIT_STATS_HPP

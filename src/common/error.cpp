@@ -1,0 +1,54 @@
+#include "common/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace autobraid {
+namespace {
+
+/** Expand a printf-style format into a std::string. */
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    throw UserError(msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    throw InternalError(msg);
+}
+
+void
+require(bool cond, const char *msg)
+{
+    if (!cond)
+        throw InternalError(msg);
+}
+
+} // namespace autobraid

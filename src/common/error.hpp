@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-handling primitives shared by every AutoBraid subsystem.
+ *
+ * Two failure categories are distinguished, following the gem5 convention:
+ *  - fatal conditions are the *user's* fault (bad input circuit, malformed
+ *    QASM, impossible configuration) and raise UserError;
+ *  - panic conditions are *our* fault (violated internal invariant) and
+ *    raise InternalError.
+ *
+ * Both are exceptions rather than process aborts so that library consumers
+ * (and the test suite) can observe and recover from them.
+ */
+
+#ifndef AUTOBRAID_COMMON_ERROR_HPP
+#define AUTOBRAID_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace autobraid {
+
+/** Base class for all AutoBraid errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** The caller supplied invalid input or configuration. */
+class UserError : public Error
+{
+  public:
+    explicit UserError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/** An internal invariant was violated; indicates a bug in AutoBraid. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/**
+ * Raise a UserError with a printf-style formatted message.
+ *
+ * @param fmt printf format string followed by its arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Raise an InternalError with a printf-style formatted message. Call this
+ * when a condition that should be impossible is observed.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Raise an InternalError if @p cond is false. */
+void require(bool cond, const char *msg);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMMON_ERROR_HPP

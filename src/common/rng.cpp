@@ -1,0 +1,36 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+int
+Rng::intIn(int lo, int hi)
+{
+    require(lo <= hi, "Rng::intIn: empty range");
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+size_t
+Rng::index(size_t n)
+{
+    require(n > 0, "Rng::index: empty range");
+    std::uniform_int_distribution<size_t> dist(0, n - 1);
+    return dist(engine_);
+}
+
+double
+Rng::uniform()
+{
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace autobraid

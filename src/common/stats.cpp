@@ -1,0 +1,95 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+
+void
+Accumulator::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++count_;
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::min() const
+{
+    require(count_ > 0, "Accumulator::min on empty accumulator");
+    return min_;
+}
+
+double
+Accumulator::max() const
+{
+    require(count_ > 0, "Accumulator::max on empty accumulator");
+    return max_;
+}
+
+Histogram::Histogram(size_t num_bins) : bins_(num_bins + 1, 0)
+{
+    require(num_bins > 0, "Histogram requires at least one bin");
+}
+
+void
+Histogram::add(int64_t value)
+{
+    size_t b = 0;
+    if (value > 0)
+        b = std::min(static_cast<size_t>(value), bins_.size() - 1);
+    ++bins_[b];
+    ++total_;
+}
+
+uint64_t
+Histogram::bin(size_t b) const
+{
+    require(b < bins_.size(), "Histogram::bin out of range");
+    return bins_[b];
+}
+
+std::string
+Histogram::toString() const
+{
+    std::string out;
+    for (size_t b = 0; b < bins_.size(); ++b) {
+        if (bins_[b] == 0)
+            continue;
+        if (!out.empty())
+            out += " ";
+        out += strformat("%zu:%llu", b,
+                         static_cast<unsigned long long>(bins_[b]));
+    }
+    return out;
+}
+
+} // namespace autobraid

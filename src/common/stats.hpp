@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the scheduler metrics and the
+ * benchmark harness (running mean / min / max / sum, and a fixed-width
+ * histogram for distributions such as LLG sizes and path lengths).
+ */
+
+#ifndef AUTOBRAID_COMMON_STATS_HPP
+#define AUTOBRAID_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autobraid {
+
+/** Streaming accumulator for scalar samples. */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** Number of samples added. */
+    size_t count() const { return count_; }
+
+    /** Sum of all samples (0 when empty). */
+    double sum() const { return sum_; }
+
+    /** Mean of all samples (0 when empty). */
+    double mean() const;
+
+    /** Smallest sample. Raises InternalError when empty. */
+    double min() const;
+
+    /** Largest sample. Raises InternalError when empty. */
+    double max() const;
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Integer histogram with unit-width bins [0, capacity). */
+class Histogram
+{
+  public:
+    /** @param num_bins values >= num_bins land in the overflow bin. */
+    explicit Histogram(size_t num_bins);
+
+    /** Record one integer sample (negative values clamp to bin 0). */
+    void add(int64_t value);
+
+    /** Count in bin @p b; the overflow bin is index numBins(). */
+    uint64_t bin(size_t b) const;
+
+    /** Number of regular (non-overflow) bins. */
+    size_t numBins() const { return bins_.size() - 1; }
+
+    /** Total samples recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Render as "bin:count" pairs, skipping empty bins. */
+    std::string toString() const;
+
+  private:
+    std::vector<uint64_t> bins_;
+    uint64_t total_ = 0;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMMON_STATS_HPP

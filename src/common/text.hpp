@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small string helpers: printf-style formatting into std::string, trimming,
+ * splitting, and human-readable quantity rendering used by the report
+ * printers in the benchmark harness.
+ */
+
+#ifndef AUTOBRAID_COMMON_TEXT_HPP
+#define AUTOBRAID_COMMON_TEXT_HPP
+
+#include <string>
+#include <vector>
+
+namespace autobraid {
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Split @p s on @p sep, dropping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Render a quantity the way the paper's tables do: "950", "1.28K",
+ * "3.63M". Values < 1000 print as integers; larger values use K/M/G with
+ * up to three significant digits.
+ */
+std::string humanQuantity(double value);
+
+/**
+ * Render a duration given in microseconds using the paper's table style,
+ * e.g. "745", "1.28K", "149K", "3.63M" (all in microseconds).
+ */
+std::string humanMicros(double micros);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMMON_TEXT_HPP

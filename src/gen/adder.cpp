@@ -1,0 +1,55 @@
+#include "gen/adder.hpp"
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+namespace {
+
+void
+maj(Circuit &c, Qubit x, Qubit y, Qubit z)
+{
+    c.cx(z, y);
+    c.cx(z, x);
+    c.ccx(x, y, z);
+}
+
+void
+uma(Circuit &c, Qubit x, Qubit y, Qubit z)
+{
+    c.ccx(x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+}
+
+} // namespace
+
+Circuit
+makeAdder(int width)
+{
+    if (width < 1)
+        fatal("makeAdder requires width >= 1, got %d", width);
+    const int n = 2 * width + 2;
+    Circuit c(n, strformat("adder%d", width));
+    // Layout: a[0..w), b[w..2w), cin = 2w, cout = 2w + 1.
+    const Qubit a0 = 0;
+    const Qubit b0 = width;
+    const Qubit cin = 2 * width;
+    const Qubit cout = 2 * width + 1;
+
+    maj(c, cin, b0, a0);
+    for (int i = 1; i < width; ++i)
+        maj(c, a0 + i - 1, b0 + i, a0 + i);
+    c.cx(a0 + width - 1, cout);
+    for (int i = width - 1; i >= 1; --i)
+        uma(c, a0 + i - 1, b0 + i, a0 + i);
+    uma(c, cin, b0, a0);
+    for (int i = 0; i < width; ++i)
+        c.measure(b0 + i);
+    c.measure(cout);
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

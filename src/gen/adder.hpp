@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Cuccaro ripple-carry adder generator.
+ *
+ * Computes a + b -> b over two w-bit registers with one carry-in and
+ * one carry-out qubit (2w + 2 total), using the MAJ/UMA chain. The CX
+ * pattern is a strict ripple — nested dependence with nearest-register
+ * interaction — the "Bit Adder" style building block of the paper's
+ * Table 2.
+ */
+
+#ifndef AUTOBRAID_GEN_ADDER_HPP
+#define AUTOBRAID_GEN_ADDER_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/** Build a w-bit Cuccaro adder (2w + 2 qubits). */
+Circuit makeAdder(int width);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_ADDER_HPP

@@ -1,0 +1,36 @@
+#include "gen/bv.hpp"
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+
+Circuit
+makeBv(int n)
+{
+    if (n < 2)
+        fatal("makeBv requires n >= 2, got %d", n);
+    return makeBv(std::vector<bool>(static_cast<size_t>(n - 1), true));
+}
+
+Circuit
+makeBv(const std::vector<bool> &secret)
+{
+    const int n = static_cast<int>(secret.size()) + 1;
+    if (secret.empty())
+        fatal("makeBv requires a non-empty secret");
+    Circuit c(n, strformat("bv%d", n));
+    const Qubit ancilla = n - 1;
+    for (Qubit q = 0; q < n; ++q)
+        c.h(q);
+    for (Qubit q = 0; q < ancilla; ++q)
+        if (secret[static_cast<size_t>(q)])
+            c.cx(q, ancilla);
+    for (Qubit q = 0; q < n; ++q)
+        c.h(q);
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Bernstein-Vazirani generator.
+ *
+ * n qubits: n-1 data qubits plus one phase ancilla (the last qubit).
+ * H on all, a CX from each secret-bit data qubit into the ancilla
+ * (serialized on the ancilla — hence no CX parallelism, paper Fig. 6),
+ * then H on all. The default all-ones secret reproduces the paper's gate
+ * counts (2n + (n-1) gates).
+ */
+
+#ifndef AUTOBRAID_GEN_BV_HPP
+#define AUTOBRAID_GEN_BV_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/** Build BV over @p n qubits with an all-ones secret. */
+Circuit makeBv(int n);
+
+/** Build BV over @p secret.size() + 1 qubits with an explicit secret. */
+Circuit makeBv(const std::vector<bool> &secret);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_BV_HPP

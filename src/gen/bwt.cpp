@@ -1,0 +1,69 @@
+#include "gen/bwt.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+
+Circuit
+makeBwt(int n, int steps)
+{
+    if (n < 6)
+        fatal("makeBwt requires n >= 6, got %d", n);
+    if (steps < 1)
+        fatal("makeBwt requires steps >= 1, got %d", steps);
+
+    Circuit c(n, strformat("bwt%d", n));
+    const int half = n / 2;
+
+    // Tree A grows from qubit 0 (children of i: 2i+1, 2i+2, while
+    // < half); tree B mirrors it from qubit n-1.
+    auto tree_a_child = [half](Qubit parent, int which) -> Qubit {
+        const Qubit child = 2 * parent + 1 + which;
+        return child < half ? child : kNoQubit;
+    };
+    auto tree_b_child = [n, half](Qubit parent, int which) -> Qubit {
+        const Qubit mirrored = n - 1 - parent;
+        const Qubit child_m = 2 * mirrored + 1 + which;
+        return child_m < n - half ? n - 1 - child_m : kNoQubit;
+    };
+
+    c.h(0);
+    c.h(n - 1);
+    for (int s = 0; s < steps; ++s) {
+        for (Qubit p = 0; p < half; ++p) {
+            for (int w = 0; w < 2; ++w) {
+                const Qubit child = tree_a_child(p, w);
+                if (child != kNoQubit) {
+                    c.cx(p, child);
+                    if ((child & 3) == 1)
+                        c.t(child);
+                }
+            }
+        }
+        for (Qubit p = 0; p < n - half; ++p) {
+            for (int w = 0; w < 2; ++w) {
+                const Qubit child = tree_b_child(n - 1 - p, w);
+                if (child != kNoQubit) {
+                    c.cx(n - 1 - p, child);
+                    if ((child & 3) == 2)
+                        c.t(child);
+                }
+            }
+        }
+        // Weld: leaves of A (the deepest quarter) connect across the
+        // middle to leaves of B.
+        for (Qubit q = half / 2; q < half; ++q) {
+            const Qubit partner = n - 1 - q;
+            if (partner > q)
+                c.cx(q, partner);
+        }
+    }
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

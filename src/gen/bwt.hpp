@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Binary-Welded-Tree (BWT) walk circuit.
+ *
+ * Substitution for the Ghosh et al. BWT oracle (DESIGN.md §7): two
+ * complete binary trees facing each other over the qubit range, welded
+ * in the middle. Each walk step applies CX along every tree edge level
+ * by level (plus sparse T gates), then CX across the weld. The braiding
+ * workload — tree-local CX parallelism with a narrow weld bottleneck —
+ * matches the paper's BWT behaviour (modest speedups ~1.3-1.4x).
+ */
+
+#ifndef AUTOBRAID_GEN_BWT_HPP
+#define AUTOBRAID_GEN_BWT_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * Build the welded-tree walk.
+ *
+ * @param n qubit count (>= 6)
+ * @param steps walk steps (>= 1)
+ */
+Circuit makeBwt(int n, int steps = 1);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_BWT_HPP

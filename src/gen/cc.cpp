@@ -1,0 +1,24 @@
+#include "gen/cc.hpp"
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+
+Circuit
+makeCc(int n)
+{
+    if (n < 2)
+        fatal("makeCc requires n >= 2, got %d", n);
+    Circuit c(n, strformat("cc%d", n));
+    const Qubit ancilla = n - 1;
+    for (Qubit q = 0; q < ancilla; ++q)
+        c.h(q);
+    for (Qubit q = 0; q < ancilla; ++q)
+        c.cx(q, ancilla);
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Counterfeit-coin finding generator.
+ *
+ * The balance-query core of the counterfeit-coin algorithm: H on each of
+ * the n-1 coin qubits, then a CX from every coin qubit into the shared
+ * balance ancilla. Like BV, the ancilla serializes every CX, so the
+ * circuit has no communication parallelism; the paper uses it to show
+ * near-baseline-parity cases.
+ */
+
+#ifndef AUTOBRAID_GEN_CC_HPP
+#define AUTOBRAID_GEN_CC_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/** Build the counterfeit-coin query over @p n qubits. */
+Circuit makeCc(int n);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_CC_HPP

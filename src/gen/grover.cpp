@@ -1,0 +1,76 @@
+#include "gen/grover.hpp"
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+namespace {
+
+/**
+ * Multi-controlled Z on @p controls plus @p last, using the ancilla
+ * chain starting at @p anc0: the standard CCX ladder computes the AND
+ * of the controls into the last ancilla, a CZ applies the phase, and
+ * the ladder uncomputes.
+ */
+void
+mcz(Circuit &c, int num_controls, Qubit last, Qubit anc0)
+{
+    if (num_controls == 1) {
+        c.cz(0, last);
+        return;
+    }
+    c.ccx(0, 1, anc0);
+    for (int k = 2; k < num_controls; ++k)
+        c.ccx(k, anc0 + k - 2, anc0 + k - 1);
+    c.cz(anc0 + num_controls - 2, last);
+    for (int k = num_controls - 1; k >= 2; --k)
+        c.ccx(k, anc0 + k - 2, anc0 + k - 1);
+    c.ccx(0, 1, anc0);
+}
+
+} // namespace
+
+Circuit
+makeGrover(int n, int iterations, uint64_t marked)
+{
+    if (n < 3)
+        fatal("makeGrover requires n >= 3, got %d", n);
+    if (iterations < 1)
+        fatal("makeGrover requires iterations >= 1, got %d",
+              iterations);
+    const int total = 2 * n - 2; // n search + (n - 2) ancillas
+    Circuit c(total, strformat("grover%d", n));
+    const Qubit anc0 = n;
+
+    for (Qubit q = 0; q < n; ++q)
+        c.h(q);
+
+    for (int it = 0; it < iterations; ++it) {
+        // Oracle: flip phase of |marked>.
+        for (Qubit q = 0; q < n; ++q)
+            if (!((marked >> q) & 1))
+                c.x(q);
+        mcz(c, n - 1, n - 1, anc0);
+        for (Qubit q = 0; q < n; ++q)
+            if (!((marked >> q) & 1))
+                c.x(q);
+
+        // Diffusion: H X (MCZ) X H.
+        for (Qubit q = 0; q < n; ++q) {
+            c.h(q);
+            c.x(q);
+        }
+        mcz(c, n - 1, n - 1, anc0);
+        for (Qubit q = 0; q < n; ++q) {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    for (Qubit q = 0; q < n; ++q)
+        c.measure(q);
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

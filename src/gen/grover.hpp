@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Grover search generator.
+ *
+ * n search qubits, n-2 ancilla qubits for the Toffoli ladder, and the
+ * standard structure per iteration: phase oracle marking one basis
+ * state (multi-controlled Z via a CCX ladder) followed by the
+ * diffusion operator. The ladder concentrates CX traffic on a chain of
+ * ancillas — a deep, low-parallelism pattern complementary to
+ * QFT/Ising.
+ */
+
+#ifndef AUTOBRAID_GEN_GROVER_HPP
+#define AUTOBRAID_GEN_GROVER_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * Build Grover search over @p n search qubits (n >= 3) with
+ * @p iterations oracle+diffusion rounds. Total qubits: 2n - 2.
+ *
+ * @param marked the marked basis state (low n bits used)
+ */
+Circuit makeGrover(int n, int iterations = 1, uint64_t marked = 0);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_GROVER_HPP

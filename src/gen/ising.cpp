@@ -1,0 +1,34 @@
+#include "gen/ising.hpp"
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+
+Circuit
+makeIsing(int n, int steps)
+{
+    if (n < 2)
+        fatal("makeIsing requires n >= 2, got %d", n);
+    if (steps < 1)
+        fatal("makeIsing requires steps >= 1, got %d", steps);
+    Circuit c(n, strformat("im%d", n));
+    const double field = 0.3;
+    const double zz = 0.7;
+    for (int s = 0; s < steps; ++s) {
+        for (Qubit q = 0; q < n; ++q)
+            c.rz(q, field);
+        for (int parity = 0; parity < 2; ++parity) {
+            for (Qubit q = parity; q + 1 < n; q += 2) {
+                c.cx(q, q + 1);
+                c.rz(q + 1, zz);
+                c.cx(q, q + 1);
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * One-dimensional transverse-field Ising model circuit (Trotterized).
+ *
+ * Per Trotter step: an RZ field layer on all qubits, then ZZ interactions
+ * along the chain — cx(i, i+1); rz(i+1); cx(i, i+1) — applied to the even
+ * pairs and then the odd pairs. The even/odd blocks provide ~n/2
+ * simultaneous CX gates (paper Fig. 7), making IM the paper's canonical
+ * high-communication-parallelism, constant-depth workload.
+ */
+
+#ifndef AUTOBRAID_GEN_ISING_HPP
+#define AUTOBRAID_GEN_ISING_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * Build the Ising chain evolution.
+ *
+ * @param n qubit count (>= 2)
+ * @param steps Trotter steps (>= 1)
+ */
+Circuit makeIsing(int n, int steps = 2);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_ISING_HPP

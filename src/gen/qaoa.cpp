@@ -1,0 +1,100 @@
+#include "gen/qaoa.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+namespace {
+
+/**
+ * A random geometrically local 3-regular graph: ring edges give degree
+ * 2; a random perfect matching within consecutive ring blocks of
+ * @p window vertices adds the third. Edges are emitted colour by colour
+ * (even ring, odd ring, matching) so the three ZZ blocks of each round
+ * are internally parallel, matching a colouring-aware QAOA transpiler.
+ */
+std::vector<std::pair<Qubit, Qubit>>
+threeRegularEdges(int n, int window, Rng &rng)
+{
+    std::vector<std::pair<Qubit, Qubit>> edges;
+    for (Qubit q = 0; q + 1 < n; q += 2)
+        edges.emplace_back(q, q + 1);
+    for (Qubit q = 1; q + 1 < n; q += 2)
+        edges.emplace_back(q, q + 1);
+    edges.emplace_back(n - 1, 0);
+
+    auto ring_adjacent = [n](Qubit a, Qubit b) {
+        const int d = std::abs(a - b);
+        return d <= 1 || d == n - 1;
+    };
+
+    // Per-block random matching avoiding ring edges.
+    for (Qubit base = 0; base < n; base += window) {
+        const int block = std::min(window, n - base);
+        std::vector<Qubit> perm(static_cast<size_t>(block));
+        for (int i = 0; i < block; ++i)
+            perm[static_cast<size_t>(i)] = base + i;
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+            rng.shuffle(perm);
+            bool ok = true;
+            for (size_t i = 0; i + 1 < perm.size(); i += 2) {
+                if (ring_adjacent(perm[i], perm[i + 1])) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                break;
+            if (attempt == 999)
+                fatal("threeRegularEdges: no block matching for n=%d",
+                      n);
+        }
+        for (size_t i = 0; i + 1 < perm.size(); i += 2)
+            edges.emplace_back(perm[i], perm[i + 1]);
+    }
+    return edges;
+}
+
+} // namespace
+
+Circuit
+makeQaoa(int n, int rounds, uint64_t seed, int window)
+{
+    if (n < 4 || n % 2 != 0)
+        fatal("makeQaoa requires even n >= 4, got %d", n);
+    if (rounds < 1)
+        fatal("makeQaoa requires rounds >= 1, got %d", rounds);
+    if (window < 4)
+        fatal("makeQaoa requires window >= 4, got %d", window);
+    window = std::min(window, n);
+    if (window % 2 != 0)
+        --window;
+
+    Rng rng(seed);
+    const auto edges = threeRegularEdges(n, window, rng);
+
+    Circuit c(n, strformat("qaoa%d", n));
+    for (Qubit q = 0; q < n; ++q)
+        c.h(q);
+    for (int r = 0; r < rounds; ++r) {
+        const double gamma = 0.4 + 0.05 * r;
+        const double beta = 0.8 - 0.05 * r;
+        for (const auto &[u, v] : edges) {
+            c.cx(u, v);
+            c.rz(v, gamma);
+            c.cx(u, v);
+        }
+        for (Qubit q = 0; q < n; ++q)
+            c.rx(q, beta);
+    }
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

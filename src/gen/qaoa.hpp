@@ -1,0 +1,40 @@
+/**
+ * @file
+ * QAOA MaxCut circuit generator.
+ *
+ * Random 3-regular MaxCut instances (ring plus a random perfect
+ * matching), p rounds. Each round applies the ZZ cost layer over every
+ * edge — cx(u, v); rz(v); cx(u, v) — followed by the RX mixer on all
+ * qubits. With 8 rounds the gate counts match the paper's QAOA rows
+ * (1.5n edges -> 4.5n + n gates per round).
+ */
+
+#ifndef AUTOBRAID_GEN_QAOA_HPP
+#define AUTOBRAID_GEN_QAOA_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * Build a QAOA MaxCut circuit on a random geometrically local
+ * 3-regular graph: a ring plus a random perfect matching whose pairs
+ * stay within @p window ring positions of each other (the paper does
+ * not specify its instances; local instances keep the problem
+ * embeddable on the tile grid, see DESIGN.md §7).
+ *
+ * @param n qubit count (even, >= 4)
+ * @param rounds QAOA depth p (>= 1)
+ * @param seed instance seed (deterministic)
+ * @param window matching locality (>= 4; clamped to n)
+ */
+Circuit makeQaoa(int n, int rounds = 8, uint64_t seed = 7,
+                 int window = 16);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_QAOA_HPP

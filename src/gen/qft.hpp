@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Quantum Fourier Transform generator.
+ *
+ * The canonical textbook construction: for each qubit i, an H followed by
+ * controlled-phase rotations CP(pi / 2^(j-i)) from every later qubit j.
+ * Controlled phases are emitted in the paper's braiding basis (2 CX +
+ * 3 RZ each). An optional trailing layer of bit-reversal SWAPs matches
+ * Qiskit's `do_swaps=True` variant.
+ */
+
+#ifndef AUTOBRAID_GEN_QFT_HPP
+#define AUTOBRAID_GEN_QFT_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * Build an @p n qubit QFT.
+ *
+ * @param n qubit count (>= 1)
+ * @param reverse_swaps append the n/2 bit-reversal SWAPs
+ */
+Circuit makeQft(int n, bool reverse_swaps = false);
+
+/** Inverse QFT (adjoint ordering, negated angles). */
+Circuit makeInverseQft(int n);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_QFT_HPP

@@ -1,0 +1,53 @@
+#include "gen/qpe.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+
+Circuit
+makeQpe(int counting, int target)
+{
+    if (counting < 1 || target < 1)
+        fatal("makeQpe requires counting >= 1 and target >= 1, got "
+              "%d/%d",
+              counting, target);
+    const int n = counting + target;
+    Circuit c(n, strformat("qpe%d", n));
+
+    // Counting register in superposition; target eigenstate prep.
+    for (Qubit q = 0; q < counting; ++q)
+        c.h(q);
+    for (Qubit q = counting; q < n; ++q)
+        c.x(q);
+
+    // Controlled U^(2^k): counting qubit k drives a phase cascade on
+    // the target register.
+    for (Qubit k = 0; k < counting; ++k) {
+        const double base =
+            std::numbers::pi /
+            static_cast<double>(1L << std::min<long>(k, 20));
+        for (Qubit t = counting; t < n; ++t)
+            c.cphase(k, t, base);
+    }
+
+    // Inverse QFT over the counting register.
+    for (Qubit i = counting - 1; i >= 0; --i) {
+        for (Qubit j = counting - 1; j > i; --j) {
+            const double angle =
+                -std::numbers::pi /
+                static_cast<double>(1L << std::min(j - i, 20));
+            c.cphase(j, i, angle);
+        }
+        c.h(i);
+    }
+    for (Qubit q = 0; q < counting; ++q)
+        c.measure(q);
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Quantum Phase Estimation generator.
+ *
+ * QPE is the engine behind Shor's algorithm and quantum simulation (the
+ * applications the paper's introduction motivates): a register of
+ * counting qubits controls successive powers of a unitary on a target
+ * register, followed by an inverse QFT on the counting register. The
+ * controlled unitary here is a controlled-RZ cascade (a diagonal
+ * Hamiltonian simulation step), which preserves the communication
+ * pattern — every counting qubit talks to every target qubit, then the
+ * counting register runs an all-to-all iQFT.
+ */
+
+#ifndef AUTOBRAID_GEN_QPE_HPP
+#define AUTOBRAID_GEN_QPE_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * Build QPE with @p counting counting qubits and @p target target
+ * qubits (total counting + target).
+ */
+Circuit makeQpe(int counting, int target);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_QPE_HPP

@@ -1,0 +1,84 @@
+#include "gen/revlib.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace autobraid {
+namespace gen {
+
+const std::vector<RevlibEntry> &
+revlibCatalog()
+{
+    static const std::vector<RevlibEntry> catalog = {
+        {"4gt11_8", "Compare", 5, 20, 11},
+        {"4gt5_75", "Input", 5, 48, 75},
+        {"alu-v0_26", "ALU by Gupta", 5, 48, 26},
+        {"rd32-v0", "Bit Adder", 4, 34, 32},
+        {"sqrt8_260", "Square Root", 12, 3090, 260},
+        {"squar5_261", "Squarer", 13, 1110, 261},
+        {"squar7", "Squarer", 15, 4070, 7},
+        {"urf1_278", "Unstructured Reversible Function", 9, 54800, 278},
+        {"urf2_277", "Unstructured Reversible Function", 8, 20100, 277},
+        {"urf5_158", "Unstructured Reversible Function", 9, 160000, 158},
+        {"urf5_280", "Unstructured Reversible Function", 9, 49800, 280},
+    };
+    return catalog;
+}
+
+const RevlibEntry &
+revlibEntry(const std::string &name)
+{
+    for (const RevlibEntry &e : revlibCatalog())
+        if (name == e.name)
+            return e;
+    fatal("unknown RevLib benchmark '%s'", name.c_str());
+}
+
+Circuit
+makeRevlib(const std::string &name)
+{
+    const RevlibEntry &e = revlibEntry(name);
+    return makeMctNetwork(e.qubits, e.mct_gates, e.seed, e.name);
+}
+
+Circuit
+makeMctNetwork(int qubits, int mct_gates, uint64_t seed,
+               const std::string &name)
+{
+    if (qubits < 3)
+        fatal("makeMctNetwork requires qubits >= 3, got %d", qubits);
+    if (mct_gates < 1)
+        fatal("makeMctNetwork requires mct_gates >= 1, got %d",
+              mct_gates);
+
+    Rng rng(seed);
+    Circuit c(qubits, name);
+    for (int g = 0; g < mct_gates; ++g) {
+        const double kind = rng.uniform();
+        const auto t = static_cast<Qubit>(rng.index(
+            static_cast<size_t>(qubits)));
+        if (kind < 0.15) {
+            c.x(t);
+            continue;
+        }
+        Qubit a;
+        do {
+            a = static_cast<Qubit>(rng.index(
+                static_cast<size_t>(qubits)));
+        } while (a == t);
+        if (kind < 0.60) {
+            c.cx(a, t);
+            continue;
+        }
+        Qubit b;
+        do {
+            b = static_cast<Qubit>(rng.index(
+                static_cast<size_t>(qubits)));
+        } while (b == t || b == a);
+        c.ccx(a, b, t);
+    }
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * RevLib-style reversible building-block circuits.
+ *
+ * Substitution for the RevLib circuit files (DESIGN.md §7): the paper's
+ * building-block benchmarks (comparators, adders, square root, squarers,
+ * unstructured reversible functions) are Toffoli/CNOT/NOT networks over
+ * 4-15 qubits. Braid scheduling depends only on the qubit count and the
+ * gate-interaction pattern, so each benchmark is regenerated as a
+ * deterministic pseudo-random MCT network matching the original's qubit
+ * count and (pre-decomposition) gate count; Toffolis are lowered through
+ * the standard 6-CX decomposition.
+ */
+
+#ifndef AUTOBRAID_GEN_REVLIB_HPP
+#define AUTOBRAID_GEN_REVLIB_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/** Catalog entry for one reversible building block. */
+struct RevlibEntry
+{
+    const char *name;        ///< RevLib benchmark name
+    const char *description; ///< paper's description column
+    int qubits;
+    int mct_gates;           ///< paper-reported (MCT-level) gate count
+    uint64_t seed;
+};
+
+/** The building blocks of the paper's Table 1 / Table 2. */
+const std::vector<RevlibEntry> &revlibCatalog();
+
+/** Look up a catalog entry; raises UserError when unknown. */
+const RevlibEntry &revlibEntry(const std::string &name);
+
+/** Generate the MCT network for a catalog entry, lowered to the basis. */
+Circuit makeRevlib(const std::string &name);
+
+/**
+ * Generate a random MCT network directly (tests and ablations).
+ *
+ * @param qubits register width (>= 3)
+ * @param mct_gates number of NOT/CNOT/Toffoli gates before lowering
+ * @param seed deterministic instance seed
+ */
+Circuit makeMctNetwork(int qubits, int mct_gates, uint64_t seed,
+                       const std::string &name = "mct");
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_REVLIB_HPP

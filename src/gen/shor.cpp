@@ -1,0 +1,63 @@
+#include "gen/shor.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+
+Circuit
+makeShor(int bits, int adder_rounds)
+{
+    if (bits < 2)
+        fatal("makeShor requires bits >= 2, got %d", bits);
+    if (adder_rounds < 1)
+        fatal("makeShor requires adder_rounds >= 1, got %d",
+              adder_rounds);
+
+    const int n = 2 * bits + 3;
+    Circuit c(n, strformat("shor%d", n));
+    const Qubit exp0 = 0;          // exponent register [0, bits)
+    const Qubit work0 = bits;      // work register [bits, 2*bits)
+    const Qubit anc0 = 2 * bits;   // 3 ancillas
+
+    // Superpose the exponent register.
+    for (Qubit q = 0; q < bits; ++q)
+        c.h(exp0 + q);
+    // Work register into the Fourier basis.
+    for (Qubit q = 0; q < bits; ++q)
+        c.h(work0 + q);
+
+    // Window of controlled phase adders: exponent bit k (round-robin)
+    // drives rotations into every work qubit.
+    for (int round = 0; round < adder_rounds; ++round) {
+        const Qubit ctrl = exp0 + (round % bits);
+        for (Qubit j = 0; j < bits; ++j) {
+            const double angle =
+                std::numbers::pi /
+                static_cast<double>(1L << ((j + round) % 20));
+            c.cphase(ctrl, work0 + j, angle);
+        }
+        // Carry interaction with the ancillas (comparator sketch).
+        c.cx(work0 + bits - 1, anc0);
+        c.cx(anc0, anc0 + 1);
+        c.cx(anc0 + 1, anc0 + 2);
+    }
+
+    // Inverse QFT over the work register.
+    for (Qubit i = bits - 1; i >= 0; --i) {
+        for (Qubit j = bits - 1; j > i; --j) {
+            const double angle =
+                -std::numbers::pi /
+                static_cast<double>(1L << std::min(j - i, 20));
+            c.cphase(work0 + j, work0 + i, angle);
+        }
+        c.h(work0 + i);
+    }
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

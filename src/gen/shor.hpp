@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shor's-algorithm kernel generator.
+ *
+ * Substitution (DESIGN.md §7): the scheduling-relevant structure of
+ * Beauregard-style Shor — an exponent register driving a window of
+ * controlled QFT-basis phase adders into a work register, closed by an
+ * inverse QFT. Register split for b bits: exponent b, work b, 3
+ * ancillas (2b + 3 qubits; b = 234 reproduces the paper's 471-qubit
+ * instance). The adder window is sized so the pre-decomposition gate
+ * count lands near the paper's 36.5K.
+ */
+
+#ifndef AUTOBRAID_GEN_SHOR_HPP
+#define AUTOBRAID_GEN_SHOR_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * Build the Shor kernel.
+ *
+ * @param bits modulus width b (>= 2); total qubits = 2b + 3
+ * @param adder_rounds controlled phase-adder rounds (default sized to
+ *        the paper's gate count at b = 234)
+ */
+Circuit makeShor(int bits, int adder_rounds = 36);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_SHOR_HPP

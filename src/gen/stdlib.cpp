@@ -1,0 +1,70 @@
+#include "gen/stdlib.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace gen {
+
+Circuit
+makeGhz(int n, bool fanout_tree)
+{
+    if (n < 2)
+        fatal("makeGhz requires n >= 2, got %d", n);
+    Circuit c(n, strformat("ghz%d", n));
+    c.h(0);
+    if (fanout_tree) {
+        // Doubling fan-out: at step k, qubits [0, 2^k) copy into
+        // [2^k, 2^(k+1)).
+        for (int have = 1; have < n; have *= 2)
+            for (int i = 0; i < have && have + i < n; ++i)
+                c.cx(i, have + i);
+    } else {
+        for (Qubit q = 0; q + 1 < n; ++q)
+            c.cx(q, q + 1);
+    }
+    return c;
+}
+
+Circuit
+makeRandomCliffordT(int n, int gates, uint64_t seed,
+                    double cx_fraction)
+{
+    if (n < 2)
+        fatal("makeRandomCliffordT requires n >= 2, got %d", n);
+    if (gates < 1)
+        fatal("makeRandomCliffordT requires gates >= 1, got %d",
+              gates);
+    if (cx_fraction < 0.0 || cx_fraction > 1.0)
+        fatal("cx_fraction must be in [0, 1], got %g", cx_fraction);
+
+    Rng rng(seed);
+    Circuit c(n, strformat("randct%d", n));
+    for (int g = 0; g < gates; ++g) {
+        if (rng.chance(cx_fraction)) {
+            const auto a = static_cast<Qubit>(
+                rng.index(static_cast<size_t>(n)));
+            Qubit b;
+            do {
+                b = static_cast<Qubit>(
+                    rng.index(static_cast<size_t>(n)));
+            } while (b == a);
+            c.cx(a, b);
+            continue;
+        }
+        const auto q =
+            static_cast<Qubit>(rng.index(static_cast<size_t>(n)));
+        switch (rng.intIn(0, 4)) {
+          case 0: c.h(q); break;
+          case 1: c.s(q); break;
+          case 2: c.t(q); break;
+          case 3: c.x(q); break;
+          default: c.z(q); break;
+        }
+    }
+    return c;
+}
+
+} // namespace gen
+} // namespace autobraid

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small standard circuits: GHZ state preparation and random
+ * Clifford+T circuits (the fuzz workload for scheduler stress tests
+ * and the micro-benchmarks).
+ */
+
+#ifndef AUTOBRAID_GEN_STDLIB_HPP
+#define AUTOBRAID_GEN_STDLIB_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace gen {
+
+/**
+ * GHZ state over @p n qubits.
+ *
+ * @param fanout_tree true builds the log-depth CX tree (parallel
+ *        braids); false builds the linear CX chain (serial braids).
+ */
+Circuit makeGhz(int n, bool fanout_tree = false);
+
+/**
+ * Random Clifford+T circuit: @p gates gates drawn from
+ * {H, S, T, X, Z, CX} with the given two-qubit fraction.
+ */
+Circuit makeRandomCliffordT(int n, int gates, uint64_t seed,
+                            double cx_fraction = 0.4);
+
+} // namespace gen
+} // namespace autobraid
+
+#endif // AUTOBRAID_GEN_STDLIB_HPP

@@ -1,0 +1,45 @@
+#include "lattice/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+Cycles
+CostModel::duration(const Gate &g) const
+{
+    switch (g.kind) {
+      case GateKind::I:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::Barrier:
+        return 0;
+      case GateKind::S:
+      case GateKind::Sdg:
+        return sCycles();
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+        return tCycles();
+      case GateKind::H:
+        return hCycles();
+      case GateKind::Measure:
+        return measureCycles();
+      case GateKind::CX:
+        return cxCycles();
+      case GateKind::Swap:
+        return swapCycles();
+    }
+    panic("CostModel::duration: unknown GateKind %d",
+          static_cast<int>(g.kind));
+}
+
+DurationFn
+CostModel::durationFn() const
+{
+    return [model = *this](const Gate &g) { return model.duration(g); };
+}
+
+} // namespace autobraid

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Gate-latency cost model in surface-code cycles.
+ *
+ * Calibration (DESIGN.md §3.2): one surface-code cycle is 2.2 us
+ * (paper §4.2). A CX braid occupies its path for 2d + 2 cycles; Hadamard
+ * deforms tile boundaries for d cycles; S costs one cycle; T and
+ * synthesized rotations cost a small constant because a steady supply of
+ * magic states is assumed at the data (paper's assumption); Pauli gates
+ * are free (tracked in the classical Pauli frame); measurement costs d.
+ * A SWAP inserted by the layout optimizer is three CX gates holding one
+ * braiding path.
+ */
+
+#ifndef AUTOBRAID_LATTICE_COST_MODEL_HPP
+#define AUTOBRAID_LATTICE_COST_MODEL_HPP
+
+#include "circuit/dag.hpp"
+#include "circuit/gate.hpp"
+
+namespace autobraid {
+
+/** Latency model parameterized by code distance. */
+struct CostModel
+{
+    int distance = 33;        ///< code distance d (paper's default)
+    double cycle_us = 2.2;    ///< microseconds per surface-code cycle
+
+    /** Braid window of a CX gate. */
+    Cycles cxCycles() const
+    {
+        return 2 * static_cast<Cycles>(distance) + 2;
+    }
+
+    /** SWAP = 3 sequential CX holding one path. */
+    Cycles swapCycles() const { return 3 * cxCycles(); }
+
+    /** Hadamard: local boundary deformation. */
+    Cycles hCycles() const { return static_cast<Cycles>(distance); }
+
+    /** Measurement in the computational basis. */
+    Cycles measureCycles() const { return static_cast<Cycles>(distance); }
+
+    /** S / S-dagger. */
+    Cycles sCycles() const { return 1; }
+
+    /** T / T-dagger / synthesized rotation (steady magic-state supply). */
+    Cycles tCycles() const { return 2; }
+
+    /** Duration of one gate. */
+    Cycles duration(const Gate &g) const;
+
+    /** Duration callback for Dag::criticalPath and the scheduler. */
+    DurationFn durationFn() const;
+
+    /** Convert cycles to microseconds. */
+    double micros(Cycles c) const
+    {
+        return static_cast<double>(c) * cycle_us;
+    }
+
+    /** Convert cycles to seconds. */
+    double seconds(Cycles c) const { return micros(c) * 1e-6; }
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_LATTICE_COST_MODEL_HPP

@@ -1,0 +1,79 @@
+#include "lattice/occupancy.hpp"
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+Occupancy::Occupancy(const Grid &grid)
+    : used_(static_cast<size_t>(grid.numVertices()), 0)
+{}
+
+void
+Occupancy::claim(const std::vector<VertexId> &path)
+{
+    for (VertexId v : path)
+        claimVertex(v);
+}
+
+void
+Occupancy::claimVertex(VertexId v)
+{
+    auto &slot = used_[static_cast<size_t>(v)];
+    require(slot == 0, "Occupancy::claim: vertex already claimed");
+    slot = 1;
+    ++used_count_;
+}
+
+void
+Occupancy::release(const std::vector<VertexId> &path)
+{
+    for (VertexId v : path) {
+        auto &slot = used_[static_cast<size_t>(v)];
+        require(slot == 1, "Occupancy::release: vertex not claimed");
+        slot = 0;
+        --used_count_;
+    }
+}
+
+double
+Occupancy::utilization() const
+{
+    if (used_.empty())
+        return 0.0;
+    return static_cast<double>(used_count_) /
+           static_cast<double>(used_.size());
+}
+
+void
+Occupancy::clear()
+{
+    std::fill(used_.begin(), used_.end(), 0);
+    used_count_ = 0;
+}
+
+TimedOccupancy::TimedOccupancy(const Grid &grid)
+    : release_(static_cast<size_t>(grid.numVertices()), 0)
+{}
+
+void
+TimedOccupancy::reserve(const std::vector<VertexId> &path,
+                        LatticeTime until)
+{
+    for (VertexId v : path) {
+        auto &slot = release_[static_cast<size_t>(v)];
+        if (until > slot)
+            slot = until;
+    }
+}
+
+size_t
+TimedOccupancy::busyCount(LatticeTime t) const
+{
+    size_t n = 0;
+    for (LatticeTime r : release_)
+        if (r > t)
+            ++n;
+    return n;
+}
+
+} // namespace autobraid

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Routing-vertex occupancy tracking.
+ *
+ * Two flavours are provided:
+ *  - Occupancy: a boolean claim/release map for single-instant routing
+ *    (layer-at-a-time path finding, property tests of the LLG theorems);
+ *  - TimedOccupancy: per-vertex release times for the event-driven
+ *    scheduler, where braids hold their vertices for the CX duration and
+ *    time advances monotonically.
+ */
+
+#ifndef AUTOBRAID_LATTICE_OCCUPANCY_HPP
+#define AUTOBRAID_LATTICE_OCCUPANCY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/geometry.hpp"
+
+namespace autobraid {
+
+/** Duration/time in surface-code cycles (mirrors circuit/dag.hpp). */
+using LatticeTime = uint64_t;
+
+/** Boolean per-vertex occupancy for one scheduling instant. */
+class Occupancy
+{
+  public:
+    explicit Occupancy(const Grid &grid);
+
+    /** True when vertex @p v is unclaimed. */
+    bool free(VertexId v) const { return used_[static_cast<size_t>(v)] == 0; }
+
+    /** Claim every vertex of @p path. Raises on double-claim. */
+    void claim(const std::vector<VertexId> &path);
+
+    /** Release every vertex of @p path. Raises when not claimed. */
+    void release(const std::vector<VertexId> &path);
+
+    /** Claim a single vertex. */
+    void claimVertex(VertexId v);
+
+    /** Number of currently claimed vertices. */
+    size_t usedCount() const { return used_count_; }
+
+    /** Total vertices in the grid. */
+    size_t totalCount() const { return used_.size(); }
+
+    /** Fraction of claimed vertices (the paper's utilization ratio). */
+    double utilization() const;
+
+    /** Release everything. */
+    void clear();
+
+  private:
+    std::vector<uint8_t> used_;
+    size_t used_count_ = 0;
+};
+
+/**
+ * Per-vertex release times. A vertex is free at instant t when its
+ * recorded release time is <= t. Suited to a scheduler whose reservations
+ * always start "now": overlapping windows then reduce to a max of release
+ * times.
+ */
+class TimedOccupancy
+{
+  public:
+    explicit TimedOccupancy(const Grid &grid);
+
+    /** True when @p v is free at instant @p t. */
+    bool freeAt(VertexId v, LatticeTime t) const
+    {
+        return release_[static_cast<size_t>(v)] <= t;
+    }
+
+    /** Reserve every vertex of @p path until @p until. */
+    void reserve(const std::vector<VertexId> &path, LatticeTime until);
+
+    /** Release time of @p v (0 when never reserved). */
+    LatticeTime releaseTime(VertexId v) const
+    {
+        return release_[static_cast<size_t>(v)];
+    }
+
+    /** Number of vertices still reserved at instant @p t. */
+    size_t busyCount(LatticeTime t) const;
+
+    /** Total vertices in the grid. */
+    size_t totalCount() const { return release_.size(); }
+
+  private:
+    std::vector<LatticeTime> release_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_LATTICE_OCCUPANCY_HPP

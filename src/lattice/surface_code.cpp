@@ -1,0 +1,52 @@
+#include "lattice/surface_code.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+double
+SurfaceCodeParams::logicalErrorRate(int d) const
+{
+    if (d < 1)
+        fatal("surface code distance must be >= 1, got %d", d);
+    const double ratio = physical_error / threshold;
+    return coefficient *
+           std::pow(ratio, (static_cast<double>(d) + 1.0) / 2.0);
+}
+
+int
+SurfaceCodeParams::distanceFor(double target_pl, int max_d) const
+{
+    if (target_pl <= 0.0)
+        fatal("target logical error rate must be positive, got %g",
+              target_pl);
+    if (physical_error >= threshold)
+        fatal("physical error rate %g is not below the threshold %g; "
+              "the code offers no protection",
+              physical_error, threshold);
+    for (int d = 3; d <= max_d; d += 2) {
+        if (logicalErrorRate(d) <= target_pl)
+            return d;
+    }
+    fatal("no distance <= %d reaches logical error rate %g", max_d,
+          target_pl);
+}
+
+long
+SurfaceCodeParams::physicalQubitsPerTile(int d) const
+{
+    if (d < 1)
+        fatal("surface code distance must be >= 1, got %d", d);
+    const long w = d + 1;
+    return 2 * w * w;
+}
+
+long
+SurfaceCodeParams::physicalQubits(int tiles, int d) const
+{
+    return static_cast<long>(tiles) * physicalQubitsPerTile(d);
+}
+
+} // namespace autobraid

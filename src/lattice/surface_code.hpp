@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Surface-code error model (paper §2, eq. (1)).
+ *
+ * P_L = A * (p / p_th)^((d+1)/2)
+ *
+ * with A = 0.03, physical error rate p, threshold p_th = 0.57% (Fowler et
+ * al.), and code distance d. The evaluation scales the "computation size"
+ * as 1/P_L: a circuit of G logical operations needs P_L ~ 1/G, which in
+ * turn fixes the smallest admissible odd distance d. This module converts
+ * between P_L targets, distances, and physical-qubit budgets.
+ */
+
+#ifndef AUTOBRAID_LATTICE_SURFACE_CODE_HPP
+#define AUTOBRAID_LATTICE_SURFACE_CODE_HPP
+
+#include <cstdint>
+
+namespace autobraid {
+
+/** Parameters of the double-defect surface-code error model. */
+struct SurfaceCodeParams
+{
+    double physical_error = 1e-3; ///< p: today's best superconducting rate
+    double threshold = 0.0057;    ///< p_th from Fowler et al.
+    double coefficient = 0.03;    ///< A in eq. (1)
+
+    /** Logical error rate P_L at code distance @p d (eq. (1)). */
+    double logicalErrorRate(int d) const;
+
+    /**
+     * Smallest odd distance whose logical error rate is at most
+     * @p target_pl. Raises UserError when p >= p_th (no threshold
+     * protection) or when the target is unreachable below @p max_d.
+     */
+    int distanceFor(double target_pl, int max_d = 501) const;
+
+    /**
+     * Physical qubits per logical tile at distance @p d. A double-defect
+     * tile hosts two defects of circumference ~d plus the moat between
+     * them; following Fowler et al.'s estimate we charge 2 * (d + 1)^2
+     * data+measure qubits per tile.
+     */
+    long physicalQubitsPerTile(int d) const;
+
+    /** Total physical qubits for an L x L tile grid at distance d. */
+    long physicalQubits(int tiles, int d) const;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_LATTICE_SURFACE_CODE_HPP

@@ -1,0 +1,128 @@
+#include "llg/bbox.hpp"
+
+#include <algorithm>
+
+namespace autobraid {
+namespace {
+
+/** Orientation sign of the triangle (p, q, r): >0 ccw, <0 cw, 0 flat. */
+long
+orient(const Vertex &p, const Vertex &q, const Vertex &r)
+{
+    const long v = static_cast<long>(q.r - p.r) * (r.c - p.c) -
+                   static_cast<long>(q.c - p.c) * (r.r - p.r);
+    return v > 0 ? 1 : (v < 0 ? -1 : 0);
+}
+
+/** True when collinear point @p r lies on segment [p, q]. */
+bool
+onSegmentCollinear(const Vertex &p, const Vertex &q, const Vertex &r)
+{
+    return std::min(p.r, q.r) <= r.r && r.r <= std::max(p.r, q.r) &&
+           std::min(p.c, q.c) <= r.c && r.c <= std::max(p.c, q.c);
+}
+
+/** Full point-on-segment test. */
+bool
+pointOnSegment(const Vertex &p, const Vertex &q, const Vertex &r)
+{
+    return orient(p, q, r) == 0 && onSegmentCollinear(p, q, r);
+}
+
+/** Closed segment intersection (endpoints count). */
+bool
+segmentsIntersect(const Vertex &p1, const Vertex &q1, const Vertex &p2,
+                  const Vertex &q2)
+{
+    const long o1 = orient(p1, q1, p2);
+    const long o2 = orient(p1, q1, q2);
+    const long o3 = orient(p2, q2, p1);
+    const long o4 = orient(p2, q2, q1);
+    if (o1 != o2 && o3 != o4)
+        return true;
+    if (o1 == 0 && onSegmentCollinear(p1, q1, p2))
+        return true;
+    if (o2 == 0 && onSegmentCollinear(p1, q1, q2))
+        return true;
+    if (o3 == 0 && onSegmentCollinear(p2, q2, p1))
+        return true;
+    if (o4 == 0 && onSegmentCollinear(p2, q2, q1))
+        return true;
+    return false;
+}
+
+/** All four corner vertices of a cell. */
+std::array<Vertex, 4>
+cellCorners(const Cell &cell)
+{
+    return {Vertex{cell.r, cell.c}, Vertex{cell.r, cell.c + 1},
+            Vertex{cell.r + 1, cell.c}, Vertex{cell.r + 1, cell.c + 1}};
+}
+
+} // namespace
+
+CxTask
+CxTask::make(GateIdx gate, const Cell &a, const Cell &b)
+{
+    CxTask t;
+    t.gate = gate;
+    t.a = a;
+    t.b = b;
+    t.bbox = outerBBox(a, b);
+    return t;
+}
+
+BBox
+outerBBox(const Cell &a, const Cell &b)
+{
+    return BBox::ofCells(a, b);
+}
+
+BBox
+innerBBox(const Cell &a, const Cell &b)
+{
+    const auto [va, vb] = closestCorners(a, b);
+    BBox box;
+    box.cover(va);
+    box.cover(vb);
+    return box;
+}
+
+std::pair<Vertex, Vertex>
+closestCorners(const Cell &a, const Cell &b)
+{
+    const auto ca = cellCorners(a);
+    const auto cb = cellCorners(b);
+    std::pair<Vertex, Vertex> best{ca[0], cb[0]};
+    int best_dist = ca[0].dist(cb[0]);
+    for (const Vertex &va : ca) {
+        for (const Vertex &vb : cb) {
+            const int d = va.dist(vb);
+            if (d < best_dist) {
+                best_dist = d;
+                best = {va, vb};
+            }
+        }
+    }
+    return best;
+}
+
+bool
+strictlyInterferes(const CxTask &ta, const CxTask &tb)
+{
+    const auto [a1, a2] = closestCorners(ta.a, ta.b);
+    const auto [b1, b2] = closestCorners(tb.a, tb.b);
+    if (segmentsIntersect(a1, a2, b1, b2))
+        return true;
+    for (const Cell &cell : {tb.a, tb.b})
+        for (const Vertex &v : cellCorners(cell))
+            if (pointOnSegment(a1, a2, v))
+                return true;
+    for (const Cell &cell : {ta.a, ta.b})
+        for (const Vertex &v : cellCorners(cell))
+            if (pointOnSegment(b1, b2, v))
+                return true;
+    return false;
+}
+
+} // namespace autobraid

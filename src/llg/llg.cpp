@@ -1,0 +1,126 @@
+#include "llg/llg.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+namespace {
+
+/** Union-find with path compression. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), size_t{0});
+    }
+
+    size_t
+    find(size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** @return true when a merge happened. */
+    bool
+    unite(size_t a, size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        parent_[a] = b;
+        return true;
+    }
+
+  private:
+    std::vector<size_t> parent_;
+};
+
+} // namespace
+
+std::vector<Llg>
+computeLlgs(const std::vector<CxTask> &tasks)
+{
+    const size_t n = tasks.size();
+    UnionFind uf(n);
+
+    // Transitive closure of bbox intersection: merge any two groups whose
+    // joint boxes intersect, recompute, and repeat to fixpoint (merging
+    // two groups can grow a joint box into a third).
+    std::vector<size_t> rep(n);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Current joint bbox per representative.
+        std::vector<BBox> joint(n);
+        for (size_t i = 0; i < n; ++i) {
+            rep[i] = uf.find(i);
+            joint[rep[i]].cover(tasks[i].bbox);
+        }
+        std::vector<size_t> reps;
+        for (size_t i = 0; i < n; ++i)
+            if (rep[i] == i)
+                reps.push_back(i);
+        for (size_t x = 0; x < reps.size(); ++x) {
+            for (size_t y = x + 1; y < reps.size(); ++y) {
+                if (joint[reps[x]].intersects(joint[reps[y]]))
+                    changed |= uf.unite(reps[x], reps[y]);
+            }
+        }
+    }
+
+    std::vector<Llg> llgs;
+    std::vector<ssize_t> group_of(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t r = uf.find(i);
+        if (group_of[r] < 0) {
+            group_of[r] = static_cast<ssize_t>(llgs.size());
+            llgs.emplace_back();
+        }
+        Llg &g = llgs[static_cast<size_t>(group_of[r])];
+        g.members.push_back(i);
+        g.bbox.cover(tasks[i].bbox);
+    }
+    return llgs;
+}
+
+bool
+isStrictlyNested(const Llg &llg, const std::vector<CxTask> &tasks)
+{
+    if (llg.size() <= 1)
+        return true;
+    std::vector<size_t> order = llg.members;
+    std::sort(order.begin(), order.end(), [&tasks](size_t x, size_t y) {
+        return tasks[x].bbox.area() < tasks[y].bbox.area();
+    });
+    for (size_t i = 1; i < order.size(); ++i) {
+        if (!tasks[order[i]].bbox.strictlyContains(tasks[order[i - 1]].bbox))
+            return false;
+    }
+    return true;
+}
+
+LlgStats
+llgStats(const std::vector<CxTask> &tasks)
+{
+    LlgStats stats;
+    for (const Llg &g : computeLlgs(tasks)) {
+        ++stats.num_llgs;
+        stats.largest = std::max(stats.largest, g.size());
+        if (g.size() > 3) {
+            ++stats.oversize;
+            if (!isStrictlyNested(g, tasks))
+                ++stats.hard;
+        }
+    }
+    return stats;
+}
+
+} // namespace autobraid

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Local parallel group (LLG) analysis (paper §3.3.1).
+ *
+ * An LLG is a minimal set of concurrent CX gates whose joint bounding box
+ * does not overlap any other LLG's joint bounding box. Theorem 1: an LLG
+ * of size <= 3 always admits simultaneous braiding paths confined to its
+ * bounding box. Theorem 2: a strictly nested LLG of any size does too.
+ * The placement annealer minimizes the number of LLGs violating both
+ * conditions, and Table 1 reports the count of LLGs with size > 3.
+ */
+
+#ifndef AUTOBRAID_LLG_LLG_HPP
+#define AUTOBRAID_LLG_LLG_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "llg/bbox.hpp"
+
+namespace autobraid {
+
+/** One local parallel group over a task vector. */
+struct Llg
+{
+    std::vector<size_t> members; ///< indices into the task vector
+    BBox bbox;                   ///< joint bounding box
+
+    size_t size() const { return members.size(); }
+};
+
+/**
+ * Partition concurrent CX @p tasks into LLGs by transitively merging
+ * tasks with intersecting bounding boxes until all joint boxes are
+ * pairwise disjoint.
+ */
+std::vector<Llg> computeLlgs(const std::vector<CxTask> &tasks);
+
+/**
+ * True when @p llg is strictly nested: its members can be ordered so
+ * every bounding box strictly encloses the previous one (Theorem 2).
+ * Singletons count as nested.
+ */
+bool isStrictlyNested(const Llg &llg, const std::vector<CxTask> &tasks);
+
+/** Summary statistics over one concurrent set's LLGs. */
+struct LlgStats
+{
+    size_t num_llgs = 0;       ///< total groups
+    size_t oversize = 0;       ///< groups with size > 3 (Table 1 metric)
+    size_t hard = 0;           ///< size > 3 and not strictly nested
+    size_t largest = 0;        ///< size of the largest group
+};
+
+/** Compute statistics for one concurrent CX set. */
+LlgStats llgStats(const std::vector<CxTask> &tasks);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_LLG_LLG_HPP

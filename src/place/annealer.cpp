@@ -1,0 +1,210 @@
+#include "place/annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "llg/llg.hpp"
+
+namespace autobraid {
+namespace {
+
+/** Evenly sample at most @p max_sets concurrent sets. */
+std::vector<std::vector<GateIdx>>
+sampleSets(const Circuit &circuit, size_t max_sets)
+{
+    auto sets = concurrentCxSets(circuit);
+    if (sets.size() <= max_sets || max_sets == 0)
+        return sets;
+    std::vector<std::vector<GateIdx>> sampled;
+    sampled.reserve(max_sets);
+    const double stride = static_cast<double>(sets.size()) /
+                          static_cast<double>(max_sets);
+    for (size_t i = 0; i < max_sets; ++i)
+        sampled.push_back(
+            std::move(sets[static_cast<size_t>(i * stride)]));
+    return sampled;
+}
+
+/**
+ * Weighted LLG cost of one concurrent set. The LLG counts dominate
+ * (paper objective: number of size>3 LLGs, non-nested ones worst); a
+ * small bbox-span term breaks ties toward compact layouts so the
+ * annealer does not wander into spread-out placements of equal LLG
+ * count.
+ */
+long
+setCost(const Circuit &circuit, const Placement &placement,
+        const std::vector<GateIdx> &set)
+{
+    const auto tasks = placement.tasks(circuit, set);
+    const auto stats = llgStats(tasks);
+    long span = 0;
+    for (const CxTask &t : tasks)
+        span += (t.bbox.rmax - t.bbox.rmin - 1) +
+                (t.bbox.cmax - t.bbox.cmin - 1);
+    return 1000 * (static_cast<long>(stats.oversize) +
+                   2 * static_cast<long>(stats.hard)) +
+           span;
+}
+
+} // namespace
+
+long
+llgObjective(const Circuit &circuit, const Placement &placement,
+             size_t max_sets)
+{
+    long total = 0;
+    for (const auto &set : sampleSets(circuit, max_sets))
+        total += setCost(circuit, placement, set);
+    return total;
+}
+
+long
+countOversizeLlgs(const Circuit &circuit, const Placement &placement)
+{
+    long total = 0;
+    for (const auto &set : concurrentCxSets(circuit))
+        total +=
+            static_cast<long>(llgStats(placement.tasks(circuit, set))
+                                  .oversize);
+    return total;
+}
+
+Placement
+annealPlacement(const Circuit &circuit, Placement initial, Rng &rng,
+                const AnnealConfig &config)
+{
+    const auto sets = sampleSets(circuit, config.max_sets);
+    if (sets.empty())
+        return initial;
+
+    const int nq = circuit.numQubits();
+
+    // qubit -> indices of sets whose cost a move of that qubit affects.
+    std::vector<std::vector<size_t>> sets_of_qubit(
+        static_cast<size_t>(nq));
+    long total_tasks = 0;
+    for (size_t s = 0; s < sets.size(); ++s) {
+        for (GateIdx g : sets[s]) {
+            const Gate &gate = circuit.gate(g);
+            sets_of_qubit[static_cast<size_t>(gate.q0)].push_back(s);
+            sets_of_qubit[static_cast<size_t>(gate.q1)].push_back(s);
+        }
+        total_tasks += static_cast<long>(sets[s].size());
+    }
+    for (auto &v : sets_of_qubit) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+
+    // Iteration count from the operation budget: each proposal
+    // re-evaluates on average (2 * total_tasks / nq) sets, each roughly
+    // quadratic in its task count.
+    double avg_eval = 0;
+    for (const auto &set : sets) {
+        const double k = static_cast<double>(set.size());
+        avg_eval += k * k;
+    }
+    avg_eval = avg_eval / static_cast<double>(sets.size());
+    const double sets_per_move =
+        2.0 * static_cast<double>(total_tasks) /
+        std::max(1.0, static_cast<double>(nq) *
+                          static_cast<double>(sets.size())) *
+        static_cast<double>(sets.size());
+    const double per_move = std::max(1.0, sets_per_move * avg_eval);
+    int iterations = static_cast<int>(
+        std::clamp(static_cast<double>(config.op_budget) / per_move,
+                   static_cast<double>(config.min_iterations),
+                   static_cast<double>(config.max_iterations)));
+
+    Placement current = std::move(initial);
+    std::vector<long> cost(sets.size());
+    long total = 0;
+    for (size_t s = 0; s < sets.size(); ++s) {
+        cost[s] = setCost(circuit, current, sets[s]);
+        total += cost[s];
+    }
+
+    Placement best = current;
+    long best_total = total;
+    const double cool =
+        iterations > 1
+            ? std::pow(config.t_end / config.t_start,
+                       1.0 / static_cast<double>(iterations - 1))
+            : 1.0;
+    double temp = config.t_start;
+
+    std::vector<size_t> affected;
+    std::vector<long> new_cost;
+    for (int it = 0; it < iterations; ++it, temp *= cool) {
+        if (best_total == 0)
+            break;
+        // Propose: swap two distinct qubits, or hop one qubit to a free
+        // tile when the grid has spare cells.
+        const auto a = static_cast<Qubit>(rng.index(
+            static_cast<size_t>(nq)));
+        Qubit b = kNoQubit;
+        CellId free_cell = -1;
+        const bool has_spare =
+            current.grid().numCells() > nq && rng.chance(0.3);
+        if (has_spare) {
+            // Find a random empty tile (retry a few times).
+            for (int tries = 0; tries < 8 && free_cell < 0; ++tries) {
+                const auto c = static_cast<CellId>(rng.index(
+                    static_cast<size_t>(current.grid().numCells())));
+                if (current.qubitAt(c) == kNoQubit)
+                    free_cell = c;
+            }
+        }
+        CellId prev_cell = -1;
+        if (free_cell >= 0) {
+            prev_cell = current.cellIdOf(a);
+            current.moveTo(a, free_cell);
+        } else {
+            do {
+                b = static_cast<Qubit>(rng.index(
+                    static_cast<size_t>(nq)));
+            } while (b == a);
+            current.swapQubits(a, b);
+        }
+
+        affected = sets_of_qubit[static_cast<size_t>(a)];
+        if (b != kNoQubit) {
+            affected.insert(affected.end(),
+                            sets_of_qubit[static_cast<size_t>(b)].begin(),
+                            sets_of_qubit[static_cast<size_t>(b)].end());
+            std::sort(affected.begin(), affected.end());
+            affected.erase(std::unique(affected.begin(), affected.end()),
+                           affected.end());
+        }
+
+        long delta = 0;
+        new_cost.clear();
+        for (size_t s : affected) {
+            const long c = setCost(circuit, current, sets[s]);
+            new_cost.push_back(c);
+            delta += c - cost[s];
+        }
+
+        const bool accept =
+            delta <= 0 ||
+            rng.uniform() <
+                std::exp(-static_cast<double>(delta) / temp);
+        if (accept) {
+            for (size_t i = 0; i < affected.size(); ++i)
+                cost[affected[i]] = new_cost[i];
+            total += delta;
+            if (total < best_total) {
+                best_total = total;
+                best = current;
+            }
+        } else if (free_cell >= 0) {
+            current.moveTo(a, prev_cell);
+        } else {
+            current.swapQubits(a, b);
+        }
+    }
+    return best;
+}
+
+} // namespace autobraid

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulated-annealing refinement of the initial placement
+ * (paper §3.3, stage 2, method (1)).
+ *
+ * The annealer perturbs the partitioner's placement with random qubit
+ * swaps/moves and accepts by the Metropolis rule, minimizing the number
+ * of LLGs of size > 3 (weighted so that non-nested oversize groups —
+ * the ones not covered by Theorems 1 and 2 — dominate the objective).
+ * Costs are cached per concurrent-CX set and re-evaluated incrementally
+ * for only the sets touching the moved qubits, so large circuits anneal
+ * within a fixed operation budget.
+ */
+
+#ifndef AUTOBRAID_PLACE_ANNEALER_HPP
+#define AUTOBRAID_PLACE_ANNEALER_HPP
+
+#include "circuit/layers.hpp"
+#include "common/rng.hpp"
+#include "place/placement.hpp"
+
+namespace autobraid {
+
+/** Annealer tunables. */
+struct AnnealConfig
+{
+    double t_start = 2.0;       ///< initial temperature
+    double t_end = 0.02;        ///< final temperature
+    size_t max_sets = 64;       ///< concurrent CX sets sampled
+    long op_budget = 40'000'000; ///< approx. task evaluations allowed
+    int min_iterations = 64;    ///< floor on proposals
+    int max_iterations = 4000;  ///< cap on proposals
+};
+
+/**
+ * LLG objective of @p placement over (a sample of) the circuit's
+ * concurrent CX sets: 1000 * (oversize + 2 * non-nested-oversize) LLG
+ * counts plus a small bbox-span locality tie-breaker. Lower is better.
+ */
+long llgObjective(const Circuit &circuit, const Placement &placement,
+                  size_t max_sets = 64);
+
+/** Count of LLGs with size > 3 across all concurrent sets (Table 1). */
+long countOversizeLlgs(const Circuit &circuit,
+                       const Placement &placement);
+
+/** Anneal @p initial and return the best placement found. */
+Placement annealPlacement(const Circuit &circuit, Placement initial,
+                          Rng &rng, const AnnealConfig &config = {});
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_PLACE_ANNEALER_HPP

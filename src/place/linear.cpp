@@ -1,0 +1,99 @@
+#include "place/linear.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+std::vector<CellId>
+snakeOrder(const Grid &grid)
+{
+    std::vector<CellId> order;
+    order.reserve(static_cast<size_t>(grid.numCells()));
+    for (int r = 0; r < grid.rows(); ++r) {
+        if (r % 2 == 0) {
+            for (int c = 0; c < grid.cols(); ++c)
+                order.push_back(grid.cid(Cell{r, c}));
+        } else {
+            for (int c = grid.cols() - 1; c >= 0; --c)
+                order.push_back(grid.cid(Cell{r, c}));
+        }
+    }
+    return order;
+}
+
+std::vector<std::vector<Qubit>>
+chainDecomposition(const CouplingGraph &coupling)
+{
+    const int nq = coupling.numQubits();
+    if (!coupling.isMaxDegreeTwo())
+        fatal("chainDecomposition requires max degree <= 2, got %d",
+              coupling.maxDegree());
+
+    std::vector<uint8_t> visited(static_cast<size_t>(nq), 0);
+    std::vector<std::vector<Qubit>> chains;
+
+    auto walk = [&](Qubit start) {
+        std::vector<Qubit> chain{start};
+        visited[static_cast<size_t>(start)] = 1;
+        Qubit cur = start;
+        bool extended = true;
+        while (extended) {
+            extended = false;
+            for (const auto &[n, w] : coupling.neighbors(cur)) {
+                (void)w;
+                if (!visited[static_cast<size_t>(n)]) {
+                    visited[static_cast<size_t>(n)] = 1;
+                    chain.push_back(n);
+                    cur = n;
+                    extended = true;
+                    break;
+                }
+            }
+        }
+        return chain;
+    };
+
+    // Paths first (start from degree <= 1 endpoints) so walks do not
+    // begin mid-path.
+    for (Qubit q = 0; q < nq; ++q)
+        if (!visited[static_cast<size_t>(q)] && coupling.degree(q) <= 1)
+            chains.push_back(walk(q));
+    // Remaining unvisited nodes lie on cycles; cut each at the start.
+    for (Qubit q = 0; q < nq; ++q)
+        if (!visited[static_cast<size_t>(q)])
+            chains.push_back(walk(q));
+    return chains;
+}
+
+Placement
+snakePlacement(const Grid &grid, const std::vector<Qubit> &order)
+{
+    Placement placement(grid, static_cast<int>(order.size()));
+    const auto snake = snakeOrder(grid);
+    require(order.size() <= snake.size(),
+            "snakePlacement: more qubits than tiles");
+    std::vector<CellId> cells(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        cells[static_cast<size_t>(order[i])] = snake[i];
+    placement.assign(cells);
+    return placement;
+}
+
+Placement
+linearPlacement(const CouplingGraph &coupling, const Grid &grid)
+{
+    auto chains = chainDecomposition(coupling);
+    std::stable_sort(chains.begin(), chains.end(),
+                     [](const auto &x, const auto &y) {
+                         return x.size() > y.size();
+                     });
+    std::vector<Qubit> order;
+    order.reserve(static_cast<size_t>(coupling.numQubits()));
+    for (const auto &chain : chains)
+        order.insert(order.end(), chain.begin(), chain.end());
+    return snakePlacement(grid, order);
+}
+
+} // namespace autobraid

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Snake (boustrophedon) layouts.
+ *
+ * Two consumers: (1) the paper's special-case initial placement for
+ * coupling graphs with maximal degree two (paths/cycles, e.g. the Ising
+ * model) — laying the chain along a snake makes every CX a neighbour
+ * gate, trivially routable; (2) the Maslov-style linear-depth swap
+ * network for all-to-all patterns, which needs an explicit linear order
+ * of tiles with adjacent order positions in adjacent tiles.
+ */
+
+#ifndef AUTOBRAID_PLACE_LINEAR_HPP
+#define AUTOBRAID_PLACE_LINEAR_HPP
+
+#include <vector>
+
+#include "circuit/coupling.hpp"
+#include "place/placement.hpp"
+
+namespace autobraid {
+
+/**
+ * Boustrophedon order of all tiles: row 0 left-to-right, row 1
+ * right-to-left, ... Consecutive order positions are always adjacent
+ * tiles.
+ */
+std::vector<CellId> snakeOrder(const Grid &grid);
+
+/**
+ * Decompose a max-degree-2 coupling graph into ordered chains. Each
+ * component (path or cycle) becomes one vector of qubits in walk order;
+ * cycles are cut at an arbitrary edge. Isolated qubits form singleton
+ * chains. Raises UserError when some degree exceeds 2.
+ */
+std::vector<std::vector<Qubit>> chainDecomposition(
+    const CouplingGraph &coupling);
+
+/**
+ * Lay @p order (a permutation of 0..n-1) along the snake: the i-th qubit
+ * of the order goes to the i-th snake tile.
+ */
+Placement snakePlacement(const Grid &grid,
+                         const std::vector<Qubit> &order);
+
+/**
+ * The paper's special-case placement for max-degree-2 coupling graphs:
+ * chains concatenated (longest first) along the snake.
+ */
+Placement linearPlacement(const CouplingGraph &coupling, const Grid &grid);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_PLACE_LINEAR_HPP

@@ -1,0 +1,153 @@
+#include "qasm/ast.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace qasm {
+
+double
+Expr::eval(const std::map<std::string, double> &bindings) const
+{
+    switch (op) {
+      case Op::Const:
+        return value;
+      case Op::Pi:
+        return std::numbers::pi;
+      case Op::Param: {
+        auto it = bindings.find(param);
+        if (it == bindings.end())
+            fatal("qasm: unbound gate parameter '%s'", param.c_str());
+        return it->second;
+      }
+      case Op::Neg:
+        return -lhs->eval(bindings);
+      case Op::Sin:
+        return std::sin(lhs->eval(bindings));
+      case Op::Cos:
+        return std::cos(lhs->eval(bindings));
+      case Op::Tan:
+        return std::tan(lhs->eval(bindings));
+      case Op::Exp:
+        return std::exp(lhs->eval(bindings));
+      case Op::Ln:
+        return std::log(lhs->eval(bindings));
+      case Op::Sqrt:
+        return std::sqrt(lhs->eval(bindings));
+      case Op::Add:
+        return lhs->eval(bindings) + rhs->eval(bindings);
+      case Op::Sub:
+        return lhs->eval(bindings) - rhs->eval(bindings);
+      case Op::Mul:
+        return lhs->eval(bindings) * rhs->eval(bindings);
+      case Op::Div: {
+        const double d = rhs->eval(bindings);
+        if (d == 0.0)
+            fatal("qasm: division by zero in parameter expression");
+        return lhs->eval(bindings) / d;
+      }
+      case Op::Pow:
+        return std::pow(lhs->eval(bindings), rhs->eval(bindings));
+    }
+    panic("Expr::eval: unknown op %d", static_cast<int>(op));
+}
+
+ExprPtr
+Expr::constant(double v)
+{
+    auto e = std::make_unique<Expr>();
+    e->op = Op::Const;
+    e->value = v;
+    return e;
+}
+
+ExprPtr
+Expr::pi()
+{
+    auto e = std::make_unique<Expr>();
+    e->op = Op::Pi;
+    return e;
+}
+
+ExprPtr
+Expr::parameter(std::string name)
+{
+    auto e = std::make_unique<Expr>();
+    e->op = Op::Param;
+    e->param = std::move(name);
+    return e;
+}
+
+ExprPtr
+Expr::unary(Op op, ExprPtr operand)
+{
+    auto e = std::make_unique<Expr>();
+    e->op = op;
+    e->lhs = std::move(operand);
+    return e;
+}
+
+ExprPtr
+Expr::binary(Op op, ExprPtr lhs, ExprPtr rhs)
+{
+    auto e = std::make_unique<Expr>();
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->op = op;
+    e->value = value;
+    e->param = param;
+    if (lhs)
+        e->lhs = lhs->clone();
+    if (rhs)
+        e->rhs = rhs->clone();
+    return e;
+}
+
+std::string
+Argument::toString() const
+{
+    if (wholeRegister())
+        return reg;
+    return strformat("%s[%d]", reg.c_str(), index);
+}
+
+int
+Program::totalQubits() const
+{
+    int n = 0;
+    for (const auto &[name, size] : qregs)
+        n += size;
+    return n;
+}
+
+int
+Program::qregSize(const std::string &name) const
+{
+    for (const auto &[n, size] : qregs)
+        if (n == name)
+            return size;
+    return -1;
+}
+
+int
+Program::cregSize(const std::string &name) const
+{
+    for (const auto &[n, size] : cregs)
+        if (n == name)
+            return size;
+    return -1;
+}
+
+} // namespace qasm
+} // namespace autobraid

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Elaboration of parsed OpenQASM 2.0 programs into scheduler circuits.
+ *
+ * Resolves register broadcasting, evaluates parameter expressions,
+ * expands user gate definitions recursively, and lowers the builtin
+ * qelib1.inc gate library into the fault-tolerant basis of
+ * circuit/gate.hpp (1q Cliffords + T/rotations + CX). `reset` is modelled
+ * as a projective measurement.
+ */
+
+#ifndef AUTOBRAID_QASM_ELABORATOR_HPP
+#define AUTOBRAID_QASM_ELABORATOR_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "qasm/ast.hpp"
+
+namespace autobraid {
+namespace qasm {
+
+/** Lower @p program to a Circuit. Raises UserError on semantic errors. */
+Circuit elaborate(const Program &program,
+                  const std::string &name = "qasm");
+
+/** Convenience: parse + elaborate source text. */
+Circuit parseToCircuit(const std::string &source,
+                       const std::string &name = "qasm");
+
+/** Convenience: parse + elaborate a file (name defaults to the path). */
+Circuit loadCircuit(const std::string &path);
+
+} // namespace qasm
+} // namespace autobraid
+
+#endif // AUTOBRAID_QASM_ELABORATOR_HPP

@@ -1,0 +1,77 @@
+#include "qasm/exporter.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace qasm {
+namespace {
+
+/** One statement line for a gate. */
+std::string
+gateLine(const Gate &g)
+{
+    switch (g.kind) {
+      case GateKind::I:
+        return strformat("id q[%d];", g.q0);
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+        return strformat("%s q[%d];", gateName(g.kind), g.q0);
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+        return strformat("%s(%.17g) q[%d];", gateName(g.kind),
+                         g.angle, g.q0);
+      case GateKind::Measure:
+        return strformat("measure q[%d] -> c[%d];", g.q0, g.q0);
+      case GateKind::CX:
+        return strformat("cx q[%d], q[%d];", g.q0, g.q1);
+      case GateKind::Swap:
+        return strformat("swap q[%d], q[%d];", g.q0, g.q1);
+      case GateKind::Barrier:
+        if (g.q1 == kNoQubit)
+            return strformat("barrier q[%d];", g.q0);
+        return strformat("barrier q[%d], q[%d];", g.q0, g.q1);
+    }
+    panic("toQasm: unknown GateKind %d", static_cast<int>(g.kind));
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::string out;
+    out += "// " + circuit.name() + " — exported by AutoBraid\n";
+    out += "OPENQASM 2.0;\n";
+    out += "include \"qelib1.inc\";\n";
+    out += strformat("qreg q[%d];\n", circuit.numQubits());
+    out += strformat("creg c[%d];\n", circuit.numQubits());
+    for (const Gate &g : circuit.gates()) {
+        out += gateLine(g);
+        out += "\n";
+    }
+    return out;
+}
+
+void
+writeQasmFile(const Circuit &circuit, const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open '%s' for writing", path.c_str());
+    file << toQasm(circuit);
+    if (!file)
+        fatal("failed writing '%s'", path.c_str());
+}
+
+} // namespace qasm
+} // namespace autobraid

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * OpenQASM 2.0 export.
+ *
+ * Serializes a Circuit back to OpenQASM 2.0 text using qelib1.inc
+ * mnemonics, so compiled or generated circuits can round-trip through
+ * external tools (and through our own parser — the round-trip is a
+ * property test of both ends).
+ */
+
+#ifndef AUTOBRAID_QASM_EXPORTER_HPP
+#define AUTOBRAID_QASM_EXPORTER_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace qasm {
+
+/** Serialize @p circuit as an OpenQASM 2.0 program. */
+std::string toQasm(const Circuit &circuit);
+
+/** Write @p circuit to @p path; raises UserError on I/O failure. */
+void writeQasmFile(const Circuit &circuit, const std::string &path);
+
+} // namespace qasm
+} // namespace autobraid
+
+#endif // AUTOBRAID_QASM_EXPORTER_HPP

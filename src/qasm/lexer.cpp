@@ -1,0 +1,155 @@
+#include "qasm/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+namespace qasm {
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> tokens;
+    size_t i = 0;
+    int line = 1;
+    int col = 1;
+
+    auto advance = [&](size_t n = 1) {
+        for (size_t k = 0; k < n && i < source.size(); ++k) {
+            if (source[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+            ++i;
+        }
+    };
+    auto push = [&](TokenKind kind, std::string text, int l, int c) {
+        tokens.push_back(Token{kind, std::move(text), l, c});
+    };
+
+    while (i < source.size()) {
+        const char c = source[i];
+        const int l = line;
+        const int co = col;
+
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            continue;
+        }
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+            while (i < source.size() && source[i] != '\n')
+                advance();
+            continue;
+        }
+        if (isIdentStart(c)) {
+            size_t j = i;
+            while (j < source.size() && isIdentBody(source[j]))
+                ++j;
+            push(TokenKind::Identifier, source.substr(i, j - i), l, co);
+            advance(j - i);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            size_t j = i;
+            bool is_real = false;
+            while (j < source.size() &&
+                   std::isdigit(static_cast<unsigned char>(source[j])))
+                ++j;
+            if (j < source.size() && source[j] == '.') {
+                is_real = true;
+                ++j;
+                while (j < source.size() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(source[j])))
+                    ++j;
+            }
+            if (j < source.size() &&
+                (source[j] == 'e' || source[j] == 'E')) {
+                size_t k = j + 1;
+                if (k < source.size() &&
+                    (source[k] == '+' || source[k] == '-'))
+                    ++k;
+                if (k < source.size() &&
+                    std::isdigit(static_cast<unsigned char>(source[k]))) {
+                    is_real = true;
+                    j = k;
+                    while (j < source.size() &&
+                           std::isdigit(
+                               static_cast<unsigned char>(source[j])))
+                        ++j;
+                }
+            }
+            push(is_real ? TokenKind::Real : TokenKind::Integer,
+                 source.substr(i, j - i), l, co);
+            advance(j - i);
+            continue;
+        }
+        if (c == '"') {
+            size_t j = i + 1;
+            while (j < source.size() && source[j] != '"')
+                ++j;
+            if (j >= source.size())
+                fatal("qasm:%d:%d: unterminated string literal", l, co);
+            push(TokenKind::String, source.substr(i + 1, j - i - 1), l,
+                 co);
+            advance(j - i + 1);
+            continue;
+        }
+        if (c == '-' && i + 1 < source.size() && source[i + 1] == '>') {
+            push(TokenKind::Arrow, "->", l, co);
+            advance(2);
+            continue;
+        }
+        if (c == '=' && i + 1 < source.size() && source[i + 1] == '=') {
+            push(TokenKind::EqEq, "==", l, co);
+            advance(2);
+            continue;
+        }
+
+        TokenKind kind;
+        switch (c) {
+          case '(': kind = TokenKind::LParen; break;
+          case ')': kind = TokenKind::RParen; break;
+          case '{': kind = TokenKind::LBrace; break;
+          case '}': kind = TokenKind::RBrace; break;
+          case '[': kind = TokenKind::LBracket; break;
+          case ']': kind = TokenKind::RBracket; break;
+          case ',': kind = TokenKind::Comma; break;
+          case ';': kind = TokenKind::Semicolon; break;
+          case '+': kind = TokenKind::Plus; break;
+          case '-': kind = TokenKind::Minus; break;
+          case '*': kind = TokenKind::Star; break;
+          case '/': kind = TokenKind::Slash; break;
+          case '^': kind = TokenKind::Caret; break;
+          default:
+            fatal("qasm:%d:%d: unexpected character '%c'", l, co, c);
+        }
+        push(kind, std::string(1, c), l, co);
+        advance();
+    }
+    tokens.push_back(Token{TokenKind::Eof, "", line, col});
+    return tokens;
+}
+
+} // namespace qasm
+} // namespace autobraid

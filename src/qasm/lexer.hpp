@@ -1,0 +1,29 @@
+/**
+ * @file
+ * OpenQASM 2.0 lexer.
+ *
+ * Handles identifiers, integer and real literals, strings, punctuation,
+ * '//' line comments, and position tracking for diagnostics. The paper's
+ * benchmark circuits come from RevLib / Qiskit / ScaffCC exports in
+ * OpenQASM 2.0, so this front end lets the harness consume such files
+ * directly.
+ */
+
+#ifndef AUTOBRAID_QASM_LEXER_HPP
+#define AUTOBRAID_QASM_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+#include "qasm/token.hpp"
+
+namespace autobraid {
+namespace qasm {
+
+/** Tokenize @p source; raises UserError on bad characters. */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace qasm
+} // namespace autobraid
+
+#endif // AUTOBRAID_QASM_LEXER_HPP

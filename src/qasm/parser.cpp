@@ -1,0 +1,374 @@
+#include "qasm/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "qasm/lexer.hpp"
+
+namespace autobraid {
+namespace qasm {
+namespace {
+
+/** Token-stream cursor with diagnostics. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {}
+
+    Program
+    parseProgram()
+    {
+        Program prog;
+        expectHeader();
+        while (!peek(TokenKind::Eof))
+            parseStatement(prog);
+        return prog;
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+
+    const Token &cur() const { return tokens_[pos_]; }
+
+    bool
+    peek(TokenKind kind) const
+    {
+        return cur().kind == kind;
+    }
+
+    bool
+    peekIdent(const char *text) const
+    {
+        return cur().is(text);
+    }
+
+    Token
+    take()
+    {
+        Token t = cur();
+        if (t.kind != TokenKind::Eof)
+            ++pos_;
+        return t;
+    }
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal("qasm:%d:%d: %s (found %s)", cur().line, cur().column,
+              msg.c_str(), cur().toString().c_str());
+    }
+
+    Token
+    expect(TokenKind kind, const char *what)
+    {
+        if (!peek(kind))
+            error(std::string("expected ") + what);
+        return take();
+    }
+
+    std::string
+    expectIdent(const char *what)
+    {
+        return expect(TokenKind::Identifier, what).text;
+    }
+
+    int
+    expectInt(const char *what)
+    {
+        const Token t = expect(TokenKind::Integer, what);
+        return std::stoi(t.text);
+    }
+
+    void
+    expectHeader()
+    {
+        if (!peekIdent("OPENQASM"))
+            error("expected 'OPENQASM' header");
+        take();
+        if (!peek(TokenKind::Real) && !peek(TokenKind::Integer))
+            error("expected version number");
+        const Token version = take();
+        if (version.text != "2.0" && version.text != "2")
+            fatal("qasm: unsupported OPENQASM version '%s' (only 2.0)",
+                  version.text.c_str());
+        expect(TokenKind::Semicolon, "';'");
+    }
+
+    void
+    parseStatement(Program &prog)
+    {
+        if (peekIdent("include")) {
+            take();
+            const Token file = expect(TokenKind::String, "include path");
+            expect(TokenKind::Semicolon, "';'");
+            if (file.text != "qelib1.inc")
+                fatal("qasm:%d: cannot include '%s'; only the builtin "
+                      "qelib1.inc is available",
+                      file.line, file.text.c_str());
+            return;
+        }
+        if (peekIdent("qreg") || peekIdent("creg")) {
+            const bool quantum = peekIdent("qreg");
+            take();
+            const std::string name = expectIdent("register name");
+            expect(TokenKind::LBracket, "'['");
+            const int size = expectInt("register size");
+            expect(TokenKind::RBracket, "']'");
+            expect(TokenKind::Semicolon, "';'");
+            if (size <= 0)
+                fatal("qasm: register '%s' must have positive size",
+                      name.c_str());
+            if (prog.qregSize(name) >= 0 || prog.cregSize(name) >= 0)
+                fatal("qasm: register '%s' redeclared", name.c_str());
+            if (quantum)
+                prog.qregs.emplace_back(name, size);
+            else
+                prog.cregs.emplace_back(name, size);
+            return;
+        }
+        if (peekIdent("gate")) {
+            parseGateDecl(prog);
+            return;
+        }
+        if (peekIdent("opaque"))
+            error("'opaque' gates are not supported");
+        if (peekIdent("if"))
+            error("classically controlled gates are not supported");
+        if (peekIdent("measure")) {
+            MeasureStmt m;
+            m.line = cur().line;
+            take();
+            m.src = parseArgument();
+            expect(TokenKind::Arrow, "'->'");
+            m.dst = parseArgument();
+            expect(TokenKind::Semicolon, "';'");
+            prog.statements.emplace_back(std::move(m));
+            return;
+        }
+        if (peekIdent("reset")) {
+            ResetStmt r;
+            r.line = cur().line;
+            take();
+            r.arg = parseArgument();
+            expect(TokenKind::Semicolon, "';'");
+            prog.statements.emplace_back(std::move(r));
+            return;
+        }
+        if (peekIdent("barrier")) {
+            BarrierStmt b;
+            b.line = cur().line;
+            take();
+            b.args = parseArgumentList();
+            expect(TokenKind::Semicolon, "';'");
+            prog.statements.emplace_back(std::move(b));
+            return;
+        }
+        prog.statements.emplace_back(parseGateCall());
+    }
+
+    void
+    parseGateDecl(Program &prog)
+    {
+        GateDecl decl;
+        decl.line = cur().line;
+        take(); // 'gate'
+        decl.name = expectIdent("gate name");
+        if (peek(TokenKind::LParen)) {
+            take();
+            if (!peek(TokenKind::RParen)) {
+                decl.params.push_back(expectIdent("parameter name"));
+                while (peek(TokenKind::Comma)) {
+                    take();
+                    decl.params.push_back(
+                        expectIdent("parameter name"));
+                }
+            }
+            expect(TokenKind::RParen, "')'");
+        }
+        decl.qargs.push_back(expectIdent("qubit argument"));
+        while (peek(TokenKind::Comma)) {
+            take();
+            decl.qargs.push_back(expectIdent("qubit argument"));
+        }
+        expect(TokenKind::LBrace, "'{'");
+        while (!peek(TokenKind::RBrace)) {
+            if (peekIdent("barrier")) {
+                GateCall b;
+                b.name = "barrier";
+                b.line = cur().line;
+                take();
+                b.args = parseArgumentList();
+                expect(TokenKind::Semicolon, "';'");
+                decl.body.push_back(std::move(b));
+                continue;
+            }
+            decl.body.push_back(parseGateCall());
+        }
+        expect(TokenKind::RBrace, "'}'");
+        if (prog.gates.count(decl.name))
+            fatal("qasm:%d: gate '%s' redeclared", decl.line,
+                  decl.name.c_str());
+        prog.gates.emplace(decl.name, std::move(decl));
+    }
+
+    GateCall
+    parseGateCall()
+    {
+        GateCall call;
+        call.line = cur().line;
+        call.name = expectIdent("gate name");
+        if (peek(TokenKind::LParen)) {
+            take();
+            if (!peek(TokenKind::RParen)) {
+                call.params.push_back(parseExpr());
+                while (peek(TokenKind::Comma)) {
+                    take();
+                    call.params.push_back(parseExpr());
+                }
+            }
+            expect(TokenKind::RParen, "')'");
+        }
+        call.args = parseArgumentList();
+        expect(TokenKind::Semicolon, "';'");
+        return call;
+    }
+
+    std::vector<Argument>
+    parseArgumentList()
+    {
+        std::vector<Argument> args;
+        args.push_back(parseArgument());
+        while (peek(TokenKind::Comma)) {
+            take();
+            args.push_back(parseArgument());
+        }
+        return args;
+    }
+
+    Argument
+    parseArgument()
+    {
+        Argument arg;
+        arg.line = cur().line;
+        arg.reg = expectIdent("register name");
+        if (peek(TokenKind::LBracket)) {
+            take();
+            arg.index = expectInt("register index");
+            expect(TokenKind::RBracket, "']'");
+        }
+        return arg;
+    }
+
+    // Expression grammar: additive > multiplicative > power (right
+    // assoc) > unary > atom.
+    ExprPtr
+    parseExpr()
+    {
+        ExprPtr lhs = parseTerm();
+        while (peek(TokenKind::Plus) || peek(TokenKind::Minus)) {
+            const bool add = peek(TokenKind::Plus);
+            take();
+            lhs = Expr::binary(add ? Expr::Op::Add : Expr::Op::Sub,
+                               std::move(lhs), parseTerm());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseTerm()
+    {
+        ExprPtr lhs = parsePower();
+        while (peek(TokenKind::Star) || peek(TokenKind::Slash)) {
+            const bool mul = peek(TokenKind::Star);
+            take();
+            lhs = Expr::binary(mul ? Expr::Op::Mul : Expr::Op::Div,
+                               std::move(lhs), parsePower());
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parsePower()
+    {
+        ExprPtr base = parseUnary();
+        if (peek(TokenKind::Caret)) {
+            take();
+            return Expr::binary(Expr::Op::Pow, std::move(base),
+                                parsePower());
+        }
+        return base;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (peek(TokenKind::Minus)) {
+            take();
+            return Expr::unary(Expr::Op::Neg, parseUnary());
+        }
+        if (peek(TokenKind::Plus)) {
+            take();
+            return parseUnary();
+        }
+        return parseAtom();
+    }
+
+    ExprPtr
+    parseAtom()
+    {
+        if (peek(TokenKind::LParen)) {
+            take();
+            ExprPtr e = parseExpr();
+            expect(TokenKind::RParen, "')'");
+            return e;
+        }
+        if (peek(TokenKind::Integer) || peek(TokenKind::Real))
+            return Expr::constant(std::stod(take().text));
+        if (peek(TokenKind::Identifier)) {
+            const Token t = take();
+            if (t.text == "pi")
+                return Expr::pi();
+            static const std::pair<const char *, Expr::Op> kFuncs[] = {
+                {"sin", Expr::Op::Sin}, {"cos", Expr::Op::Cos},
+                {"tan", Expr::Op::Tan}, {"exp", Expr::Op::Exp},
+                {"ln", Expr::Op::Ln},   {"sqrt", Expr::Op::Sqrt},
+            };
+            for (const auto &[name, op] : kFuncs) {
+                if (t.text == name) {
+                    expect(TokenKind::LParen, "'('");
+                    ExprPtr arg = parseExpr();
+                    expect(TokenKind::RParen, "')'");
+                    return Expr::unary(op, std::move(arg));
+                }
+            }
+            return Expr::parameter(t.text);
+        }
+        error("expected expression");
+    }
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    return Parser(lex(source)).parseProgram();
+}
+
+Program
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open QASM file '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace qasm
+} // namespace autobraid

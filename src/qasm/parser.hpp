@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Recursive-descent parser for OpenQASM 2.0.
+ *
+ * Supported grammar: the OPENQASM header, include directives (the
+ * standard "qelib1.inc" is builtin; other includes are rejected), qreg /
+ * creg declarations, user `gate` definitions, gate calls with parameter
+ * expressions, `measure`, `reset`, and `barrier`. `opaque` and `if` are
+ * rejected with a clear diagnostic.
+ */
+
+#ifndef AUTOBRAID_QASM_PARSER_HPP
+#define AUTOBRAID_QASM_PARSER_HPP
+
+#include <string>
+
+#include "qasm/ast.hpp"
+
+namespace autobraid {
+namespace qasm {
+
+/** Parse OpenQASM 2.0 source text. Raises UserError on syntax errors. */
+Program parse(const std::string &source);
+
+/** Parse an OpenQASM 2.0 file from disk. */
+Program parseFile(const std::string &path);
+
+} // namespace qasm
+} // namespace autobraid
+
+#endif // AUTOBRAID_QASM_PARSER_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Token model for the OpenQASM 2.0 lexer.
+ */
+
+#ifndef AUTOBRAID_QASM_TOKEN_HPP
+#define AUTOBRAID_QASM_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace autobraid {
+namespace qasm {
+
+/** Lexical token categories. */
+enum class TokenKind : uint8_t
+{
+    Eof,
+    Identifier, ///< names, including keywords resolved by the parser
+    Integer,
+    Real,
+    String,     ///< "quoted", for include directives
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semicolon, Arrow,       // ->
+    Plus, Minus, Star, Slash, Caret,
+    EqEq,                          // ==
+};
+
+/** Human-readable name of a token kind (for diagnostics). */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexed token with its source position. */
+struct Token
+{
+    TokenKind kind = TokenKind::Eof;
+    std::string text;   ///< identifier/number/string spelling
+    int line = 0;       ///< 1-based
+    int column = 0;     ///< 1-based
+
+    /** True for an identifier with exactly this spelling. */
+    bool is(const char *ident) const
+    {
+        return kind == TokenKind::Identifier && text == ident;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace qasm
+} // namespace autobraid
+
+#endif // AUTOBRAID_QASM_TOKEN_HPP

@@ -1,0 +1,117 @@
+#include "route/astar.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+AStarRouter::AStarRouter(const Grid &grid)
+    : grid_(&grid),
+      seen_(static_cast<size_t>(grid.numVertices()), 0),
+      dist_(static_cast<size_t>(grid.numVertices()), 0),
+      parent_(static_cast<size_t>(grid.numVertices()), -1)
+{}
+
+std::optional<Path>
+AStarRouter::route(const Cell &src, const Cell &dst,
+                   const BlockedFn &blocked, const BBox *confine,
+                   unsigned src_corners, unsigned dst_corners)
+{
+    require(!(src == dst), "AStarRouter::route: source equals target");
+    require(grid_->inBounds(src) && grid_->inBounds(dst),
+            "AStarRouter::route: cell out of bounds");
+    require((src_corners & kAllCorners) != 0 &&
+                (dst_corners & kAllCorners) != 0,
+            "AStarRouter::route: empty corner mask");
+
+    ++stamp_;
+    const auto targets = grid_->corners(dst);
+    const auto target_ids = grid_->cornerIds(dst);
+
+    auto heuristic = [&targets, dst_corners](const Vertex &v) {
+        int best = -1;
+        for (int i = 0; i < 4; ++i) {
+            if (!(dst_corners & (1u << i)))
+                continue;
+            const int d = targets[static_cast<size_t>(i)].dist(v);
+            if (best < 0 || d < best)
+                best = d;
+        }
+        return best;
+    };
+    auto is_target = [&target_ids, dst_corners](VertexId v) {
+        for (int i = 0; i < 4; ++i)
+            if ((dst_corners & (1u << i)) &&
+                target_ids[static_cast<size_t>(i)] == v)
+                return true;
+        return false;
+    };
+    auto usable = [&](VertexId v) {
+        if (blocked(v))
+            return false;
+        return !confine || confine->contains(grid_->vertex(v));
+    };
+
+    // (f, g, vertex); smaller f first, larger g preferred on ties (keeps
+    // the frontier tight).
+    using Entry = std::tuple<int32_t, int32_t, VertexId>;
+    auto cmp = [](const Entry &a, const Entry &b) {
+        if (std::get<0>(a) != std::get<0>(b))
+            return std::get<0>(a) > std::get<0>(b);
+        return std::get<1>(a) < std::get<1>(b);
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)>
+        open(cmp);
+
+    const auto source_ids = grid_->cornerIds(src);
+    for (int i = 0; i < 4; ++i) {
+        if (!(src_corners & (1u << i)))
+            continue;
+        const VertexId s = source_ids[static_cast<size_t>(i)];
+        if (!usable(s))
+            continue;
+        const auto idx = static_cast<size_t>(s);
+        if (seen_[idx] == stamp_)
+            continue; // shared corner pushed twice
+        seen_[idx] = stamp_;
+        dist_[idx] = 1; // cost counts vertices consumed
+        parent_[idx] = -1;
+        open.emplace(1 + heuristic(grid_->vertex(s)), 1, s);
+    }
+
+    std::array<VertexId, 4> nbrs;
+    while (!open.empty()) {
+        const auto [f, g, v] = open.top();
+        open.pop();
+        const auto vi = static_cast<size_t>(v);
+        if (dist_[vi] != g || seen_[vi] != stamp_)
+            continue; // stale entry
+        if (is_target(v)) {
+            Path path;
+            for (VertexId cur = v; cur != -1;
+                 cur = parent_[static_cast<size_t>(cur)])
+                path.vertices.push_back(cur);
+            std::reverse(path.vertices.begin(), path.vertices.end());
+            return path;
+        }
+        const int n = grid_->neighbors(v, nbrs);
+        for (int i = 0; i < n; ++i) {
+            const VertexId w = nbrs[i];
+            if (!usable(w))
+                continue;
+            const auto wi = static_cast<size_t>(w);
+            const int32_t ng = g + 1;
+            if (seen_[wi] == stamp_ && dist_[wi] <= ng)
+                continue;
+            seen_[wi] = stamp_;
+            dist_[wi] = ng;
+            parent_[wi] = v;
+            open.emplace(ng + heuristic(grid_->vertex(w)), ng, w);
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace autobraid

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A* search for braiding paths.
+ *
+ * A braiding path may start at any of the 16 corner-to-corner
+ * configurations between two tiles (paper Fig. 5), so the search is
+ * multi-source (all free corners of the source tile) and multi-target
+ * (all corners of the target tile). Cost is the number of vertices
+ * consumed; the heuristic is the minimum Manhattan distance to any target
+ * corner, which is admissible, so returned paths consume the minimum
+ * number of free vertices.
+ */
+
+#ifndef AUTOBRAID_ROUTE_ASTAR_HPP
+#define AUTOBRAID_ROUTE_ASTAR_HPP
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "lattice/geometry.hpp"
+#include "route/path.hpp"
+
+namespace autobraid {
+
+/** Predicate: true when a vertex is unavailable for routing. */
+using BlockedFn = std::function<bool(VertexId)>;
+
+/**
+ * Reusable A* router. Scratch buffers are owned by the instance and
+ * stamped per query, so repeated route() calls do not reallocate.
+ */
+class AStarRouter
+{
+  public:
+    explicit AStarRouter(const Grid &grid);
+
+    /** Corner bitmask: all 16 endpoint configurations allowed. */
+    static constexpr unsigned kAllCorners = 0xF;
+
+    /**
+     * NW corner only — models the baseline's defect-to-defect braids,
+     * which lack AutoBraid's 16 endpoint configurations (paper Fig. 5).
+     */
+    static constexpr unsigned kFixedCorner = 0x1;
+
+    /**
+     * Find a shortest congestion-free path from a corner of @p src to a
+     * corner of @p dst.
+     *
+     * @param src source tile (must differ from @p dst)
+     * @param dst target tile
+     * @param blocked vertices unavailable to this path
+     * @param confine optional box; when non-null the path may only use
+     *        vertices inside or on it (LLG-local routing)
+     * @param src_corners bitmask over the NW/NE/SW/SE corners of @p src
+     *        usable as path start
+     * @param dst_corners bitmask over the corners of @p dst usable as
+     *        path end
+     * @return the path, or std::nullopt when no free path exists.
+     */
+    std::optional<Path> route(const Cell &src, const Cell &dst,
+                              const BlockedFn &blocked,
+                              const BBox *confine = nullptr,
+                              unsigned src_corners = kAllCorners,
+                              unsigned dst_corners = kAllCorners);
+
+    /** The grid this router searches. */
+    const Grid &grid() const { return *grid_; }
+
+  private:
+    const Grid *grid_;
+    uint32_t stamp_ = 0;
+    std::vector<uint32_t> seen_;    // stamp when visited this query
+    std::vector<int32_t> dist_;
+    std::vector<VertexId> parent_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_ROUTE_ASTAR_HPP

@@ -1,0 +1,79 @@
+#include "route/greedy_finder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lattice/occupancy.hpp"
+
+namespace autobraid {
+
+GreedyPathFinder::GreedyPathFinder(const Grid &grid, GreedyOrder order,
+                                   bool all_corners)
+    : router_(grid),
+      order_(order),
+      corner_mask_(all_corners ? AStarRouter::kAllCorners
+                               : AStarRouter::kFixedCorner)
+{}
+
+const char *
+GreedyPathFinder::name() const
+{
+    switch (order_) {
+      case GreedyOrder::Distance: return "greedy-distance";
+      case GreedyOrder::Program: return "greedy-program";
+      case GreedyOrder::Largest: return "greedy-largest";
+      case GreedyOrder::Criticality: return "greedy-criticality";
+    }
+    return "greedy";
+}
+
+RoutingOutcome
+GreedyPathFinder::findPaths(const std::vector<CxTask> &tasks,
+                            const BlockedFn &blocked)
+{
+    RoutingOutcome outcome;
+    if (tasks.empty())
+        return outcome;
+
+    std::vector<size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (order_ == GreedyOrder::Distance) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&tasks](size_t x, size_t y) {
+                             return tasks[x].a.dist(tasks[x].b) <
+                                    tasks[y].a.dist(tasks[y].b);
+                         });
+    } else if (order_ == GreedyOrder::Largest) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&tasks](size_t x, size_t y) {
+                             return tasks[x].a.dist(tasks[x].b) >
+                                    tasks[y].a.dist(tasks[y].b);
+                         });
+    } else if (order_ == GreedyOrder::Criticality) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&tasks](size_t x, size_t y) {
+                             return tasks[x].priority >
+                                    tasks[y].priority;
+                         });
+    }
+
+    Occupancy claimed(router_.grid());
+    auto unavailable = [&](VertexId v) {
+        return blocked(v) || !claimed.free(v);
+    };
+    for (size_t idx : order) {
+        auto path = router_.route(tasks[idx].a, tasks[idx].b, unavailable,
+                                  nullptr, corner_mask_, corner_mask_);
+        if (!path) {
+            outcome.failed.push_back(idx);
+            continue;
+        }
+        claimed.claim(path->vertices);
+        outcome.routed.emplace_back(idx, std::move(*path));
+    }
+    outcome.ratio = static_cast<double>(outcome.routed.size()) /
+                    static_cast<double>(tasks.size());
+    return outcome;
+}
+
+} // namespace autobraid

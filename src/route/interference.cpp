@@ -1,0 +1,81 @@
+#include "route/interference.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+InterferenceGraph::InterferenceGraph(const std::vector<CxTask> &tasks)
+    : adj_(tasks.size()),
+      degree_(tasks.size(), 0),
+      removed_(tasks.size(), 0),
+      active_count_(tasks.size())
+{
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        for (size_t j = i + 1; j < tasks.size(); ++j) {
+            if (tasks[i].bbox.intersects(tasks[j].bbox)) {
+                adj_[i].push_back(j);
+                adj_[j].push_back(i);
+                ++degree_[i];
+                ++degree_[j];
+            }
+        }
+    }
+}
+
+int
+InterferenceGraph::maxDegree() const
+{
+    int best = 0;
+    for (size_t i = 0; i < adj_.size(); ++i)
+        if (!removed_[i])
+            best = std::max(best, degree_[i]);
+    return best;
+}
+
+std::vector<size_t>
+InterferenceGraph::maxDegreeNodes() const
+{
+    const int best = maxDegree();
+    std::vector<size_t> nodes;
+    for (size_t i = 0; i < adj_.size(); ++i)
+        if (!removed_[i] && degree_[i] == best)
+            nodes.push_back(i);
+    return nodes;
+}
+
+void
+InterferenceGraph::remove(size_t i)
+{
+    require(i < adj_.size() && !removed_[i],
+            "InterferenceGraph::remove: bad node");
+    removed_[i] = 1;
+    --active_count_;
+    for (size_t n : adj_[i])
+        if (!removed_[n])
+            --degree_[n];
+    degree_[i] = 0;
+}
+
+std::vector<size_t>
+InterferenceGraph::activeNeighbors(size_t i) const
+{
+    std::vector<size_t> out;
+    for (size_t n : adj_[i])
+        if (!removed_[n])
+            out.push_back(n);
+    return out;
+}
+
+std::vector<size_t>
+InterferenceGraph::activeNodes() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < adj_.size(); ++i)
+        if (!removed_[i])
+            out.push_back(i);
+    return out;
+}
+
+} // namespace autobraid

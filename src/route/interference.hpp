@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CX interference graph (paper §3.3.2).
+ *
+ * Each node is one concurrent CX gate; an edge connects two gates whose
+ * outer bounding boxes intersect. The stack-based path finder repeatedly
+ * removes the maximum-degree node (ties broken by largest bounding-box
+ * area) until the maximum degree is <= 2 — a relaxation of the LLG size-3
+ * condition of Theorem 1.
+ */
+
+#ifndef AUTOBRAID_ROUTE_INTERFERENCE_HPP
+#define AUTOBRAID_ROUTE_INTERFERENCE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "llg/bbox.hpp"
+
+namespace autobraid {
+
+/** Mutable interference graph over a fixed set of tasks. */
+class InterferenceGraph
+{
+  public:
+    /** Build the O(n^2) bbox-intersection graph over @p tasks. */
+    explicit InterferenceGraph(const std::vector<CxTask> &tasks);
+
+    /** Total nodes, including removed ones. */
+    size_t originalSize() const { return adj_.size(); }
+
+    /** Nodes still present. */
+    size_t size() const { return active_count_; }
+
+    /** True when node @p i has been removed. */
+    bool removed(size_t i) const { return removed_[i] != 0; }
+
+    /** Current degree of node @p i (edges to non-removed nodes only). */
+    int degree(size_t i) const { return degree_[i]; }
+
+    /** Largest degree among remaining nodes (0 when empty). */
+    int maxDegree() const;
+
+    /** All remaining nodes with the current maximum degree. */
+    std::vector<size_t> maxDegreeNodes() const;
+
+    /** Remove node @p i, updating neighbour degrees. */
+    void remove(size_t i);
+
+    /** Neighbours of @p i in the *original* graph (may include removed). */
+    const std::vector<size_t> &allNeighbors(size_t i) const
+    {
+        return adj_[i];
+    }
+
+    /** Remaining (non-removed) neighbours of @p i. */
+    std::vector<size_t> activeNeighbors(size_t i) const;
+
+    /** Remaining nodes in index order. */
+    std::vector<size_t> activeNodes() const;
+
+  private:
+    std::vector<std::vector<size_t>> adj_;
+    std::vector<int> degree_;
+    std::vector<uint8_t> removed_;
+    size_t active_count_ = 0;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_ROUTE_INTERFERENCE_HPP

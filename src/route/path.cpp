@@ -1,0 +1,57 @@
+#include "route/path.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/text.hpp"
+
+namespace autobraid {
+
+std::string
+Path::validate(const Grid &grid, const Cell &src, const Cell &dst) const
+{
+    if (vertices.empty())
+        return "path is empty";
+    std::unordered_set<VertexId> seen;
+    for (size_t i = 0; i < vertices.size(); ++i) {
+        const VertexId v = vertices[i];
+        if (v < 0 || v >= grid.numVertices())
+            return strformat("vertex id %d out of range", v);
+        if (!seen.insert(v).second)
+            return strformat("vertex %s repeated",
+                             grid.vertex(v).toString().c_str());
+        if (i > 0) {
+            const Vertex a = grid.vertex(vertices[i - 1]);
+            const Vertex b = grid.vertex(v);
+            if (a.dist(b) != 1)
+                return strformat("vertices %s and %s are not adjacent",
+                                 a.toString().c_str(),
+                                 b.toString().c_str());
+        }
+    }
+    auto is_corner = [&grid](const Cell &cell, VertexId v) {
+        const auto ids = grid.cornerIds(cell);
+        return std::find(ids.begin(), ids.end(), v) != ids.end();
+    };
+    if (!is_corner(src, vertices.front()))
+        return strformat("path does not start at a corner of %s",
+                         src.toString().c_str());
+    if (!is_corner(dst, vertices.back()))
+        return strformat("path does not end at a corner of %s",
+                         dst.toString().c_str());
+    return "";
+}
+
+std::string
+Path::toString(const Grid &grid) const
+{
+    std::string out;
+    for (VertexId v : vertices) {
+        if (!out.empty())
+            out += " -> ";
+        out += grid.vertex(v).toString();
+    }
+    return out;
+}
+
+} // namespace autobraid

@@ -1,0 +1,69 @@
+#include "route/stack_finder.hpp"
+
+#include <algorithm>
+
+#include "lattice/occupancy.hpp"
+
+namespace autobraid {
+
+StackPathFinder::StackPathFinder(const Grid &grid) : router_(grid) {}
+
+RoutingOutcome
+StackPathFinder::findPaths(const std::vector<CxTask> &tasks,
+                           const BlockedFn &blocked)
+{
+    RoutingOutcome outcome;
+    if (tasks.empty())
+        return outcome;
+
+    // Stage 1-2: peel max-degree nodes onto the stack until maxdeg <= 2.
+    InterferenceGraph ig(tasks);
+    std::vector<size_t> stack;
+    while (ig.maxDegree() > 2) {
+        auto ties = ig.maxDegreeNodes();
+        size_t pick = ties.front();
+        for (size_t n : ties)
+            if (tasks[n].bbox.area() > tasks[pick].bbox.area())
+                pick = n;
+        stack.push_back(pick);
+        ig.remove(pick);
+    }
+
+    // Stage 3: route the residual low-interference gates, smallest
+    // bounding box first so short-distance pairs consume local resources.
+    std::vector<size_t> residual = ig.activeNodes();
+    std::stable_sort(residual.begin(), residual.end(),
+                     [&tasks](size_t x, size_t y) {
+                         return tasks[x].bbox.area() < tasks[y].bbox.area();
+                     });
+
+    Occupancy claimed(router_.grid());
+    auto unavailable = [&](VertexId v) {
+        return blocked(v) || !claimed.free(v);
+    };
+    auto try_route = [&](size_t idx) {
+        auto path = router_.route(tasks[idx].a, tasks[idx].b, unavailable);
+        if (!path) {
+            outcome.failed.push_back(idx);
+            return;
+        }
+        claimed.claim(path->vertices);
+        outcome.routed.emplace_back(idx, std::move(*path));
+    };
+
+    for (size_t idx : residual)
+        try_route(idx);
+
+    // Stage 4: pop the stack LIFO.
+    while (!stack.empty()) {
+        const size_t idx = stack.back();
+        stack.pop_back();
+        try_route(idx);
+    }
+
+    outcome.ratio = static_cast<double>(outcome.routed.size()) /
+                    static_cast<double>(tasks.size());
+    return outcome;
+}
+
+} // namespace autobraid

@@ -1,0 +1,27 @@
+#include "sched/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace autobraid {
+
+Cycles
+EventQueue::nextTime() const
+{
+    require(!heap_.empty(), "EventQueue::nextTime on empty queue");
+    return heap_.top().time;
+}
+
+std::vector<Event>
+EventQueue::popBatch()
+{
+    require(!heap_.empty(), "EventQueue::popBatch on empty queue");
+    const Cycles t = heap_.top().time;
+    std::vector<Event> batch;
+    while (!heap_.empty() && heap_.top().time == t) {
+        batch.push_back(heap_.top());
+        heap_.pop();
+    }
+    return batch;
+}
+
+} // namespace autobraid

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Discrete-event queue for the braid scheduler.
+ */
+
+#ifndef AUTOBRAID_SCHED_EVENT_QUEUE_HPP
+#define AUTOBRAID_SCHED_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "circuit/dag.hpp"
+
+namespace autobraid {
+
+/** One scheduler event. */
+struct Event
+{
+    /** Event categories. */
+    enum class Kind : uint8_t
+    {
+        GateFinish, ///< a circuit gate retires; payload = gate index
+        SwapFinish, ///< an inserted SWAP lands; payload = swap record id
+    };
+
+    Cycles time = 0;
+    Kind kind = Kind::GateFinish;
+    uint64_t payload = 0;
+};
+
+/** Min-heap of events keyed by time. */
+class EventQueue
+{
+  public:
+    bool empty() const { return heap_.empty(); }
+
+    size_t size() const { return heap_.size(); }
+
+    /** Enqueue an event. */
+    void push(const Event &e) { heap_.push(e); }
+
+    /** Time of the earliest event. Raises InternalError when empty. */
+    Cycles nextTime() const;
+
+    /** Pop every event scheduled at exactly nextTime(). */
+    std::vector<Event> popBatch();
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.time > b.time;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_SCHED_EVENT_QUEUE_HPP

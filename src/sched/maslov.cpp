@@ -1,0 +1,53 @@
+#include "sched/maslov.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "place/linear.hpp"
+
+namespace autobraid {
+
+SwapNetwork::SwapNetwork(const Grid &grid)
+    : line_(snakeOrder(grid)),
+      pos_of_(line_.size())
+{
+    for (size_t i = 0; i < line_.size(); ++i)
+        pos_of_[static_cast<size_t>(line_[i])] = static_cast<int>(i);
+}
+
+int
+SwapNetwork::posOf(CellId c) const
+{
+    require(c >= 0 && static_cast<size_t>(c) < pos_of_.size(),
+            "SwapNetwork::posOf: cell out of range");
+    return pos_of_[static_cast<size_t>(c)];
+}
+
+bool
+SwapNetwork::adjacentInLine(CellId a, CellId b) const
+{
+    return std::abs(posOf(a) - posOf(b)) == 1;
+}
+
+std::vector<std::pair<Qubit, Qubit>>
+SwapNetwork::phasePairs(int parity, const Placement &placement,
+                        const std::vector<uint8_t> &excluded) const
+{
+    require(parity == 0 || parity == 1,
+            "SwapNetwork::phasePairs: parity must be 0 or 1");
+    std::vector<std::pair<Qubit, Qubit>> pairs;
+    for (size_t i = static_cast<size_t>(parity); i + 1 < line_.size();
+         i += 2) {
+        const Qubit qa = placement.qubitAt(line_[i]);
+        const Qubit qb = placement.qubitAt(line_[i + 1]);
+        if (qa == kNoQubit || qb == kNoQubit)
+            continue;
+        if (excluded[static_cast<size_t>(qa)] ||
+            excluded[static_cast<size_t>(qb)])
+            continue;
+        pairs.emplace_back(qa, qb);
+    }
+    return pairs;
+}
+
+} // namespace autobraid

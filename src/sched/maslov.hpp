@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Maslov-style linear-depth swap network (paper §3.3.2).
+ *
+ * For all-to-all communication patterns (QFT, dense QAOA), the paper
+ * adopts Maslov's nearest-neighbour construction: qubits live on a line
+ * (here: the snake order through the tile grid) and odd-even
+ * transposition phases sweep every qubit past every other in linear
+ * depth. CX gates execute when their operands become neighbours; each
+ * phase's SWAPs act on disjoint adjacent tile pairs, so simultaneous
+ * braiding paths always exist. autobraid-full runs this mode alongside
+ * the greedy layout optimizer and keeps the better schedule.
+ */
+
+#ifndef AUTOBRAID_SCHED_MASLOV_HPP
+#define AUTOBRAID_SCHED_MASLOV_HPP
+
+#include <utility>
+#include <vector>
+
+#include "place/placement.hpp"
+
+namespace autobraid {
+
+/** The line structure of the swap network over a grid. */
+class SwapNetwork
+{
+  public:
+    explicit SwapNetwork(const Grid &grid);
+
+    /** Snake-ordered tiles; qubits occupy a prefix. */
+    const std::vector<CellId> &lineCells() const { return line_; }
+
+    /** Line position of tile @p c. */
+    int posOf(CellId c) const;
+
+    /** True when two tiles are line neighbours. */
+    bool adjacentInLine(CellId a, CellId b) const;
+
+    /**
+     * Qubit pairs to swap in one odd-even phase: positions
+     * (i, i+1) with i of the given parity where both tiles hold
+     * non-excluded qubits.
+     *
+     * @param parity 0 or 1
+     * @param placement current layout
+     * @param excluded qubits that may not move this phase
+     */
+    std::vector<std::pair<Qubit, Qubit>> phasePairs(
+        int parity, const Placement &placement,
+        const std::vector<uint8_t> &excluded) const;
+
+  private:
+    std::vector<CellId> line_;
+    std::vector<int> pos_of_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_SCHED_MASLOV_HPP

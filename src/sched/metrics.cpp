@@ -1,0 +1,19 @@
+#include "sched/metrics.hpp"
+
+#include "common/text.hpp"
+
+namespace autobraid {
+
+std::string
+ScheduleResult::toString(const CostModel &cost) const
+{
+    return strformat(
+        "makespan=%s us (%llu cycles), braids=%zu, swaps=%zu, "
+        "util peak=%.0f%% avg=%.0f%%, compile=%.3fs",
+        humanMicros(micros(cost)).c_str(),
+        static_cast<unsigned long long>(makespan), braids_routed,
+        swaps_inserted, 100.0 * peak_utilization,
+        100.0 * avg_utilization, compile_seconds);
+}
+
+} // namespace autobraid

@@ -1,0 +1,134 @@
+#include "sched/pipeline.hpp"
+
+#include <chrono>
+
+#include "circuit/coupling.hpp"
+#include "common/error.hpp"
+#include "place/linear.hpp"
+
+namespace autobraid {
+
+SchedulerConfig
+CompileOptions::schedulerConfig() const
+{
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    cfg.cost = cost;
+    cfg.p_threshold = p_threshold;
+    cfg.allow_maslov = allow_maslov;
+    cfg.seed = seed;
+    cfg.record_trace = record_trace;
+    cfg.dead_vertices = dead_vertices;
+    cfg.baseline_order = baseline_order;
+    cfg.channel_hold_cycles = channel_hold_cycles;
+    cfg.placement = placement;
+    return cfg;
+}
+
+double
+CompileReport::cpRatio() const
+{
+    if (critical_path == 0)
+        return 1.0;
+    return static_cast<double>(result.makespan) /
+           static_cast<double>(critical_path);
+}
+
+CompileReport
+compilePipeline(const Circuit &circuit, const CompileOptions &options)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    CompileReport report;
+    report.circuit_name = circuit.name();
+    report.policy = options.policy;
+    report.num_qubits = circuit.numQubits();
+    report.num_gates = circuit.size();
+
+    const Grid grid = Grid::forQubits(circuit.numQubits());
+    report.grid_side = grid.rows();
+
+    const SchedulerConfig config = options.schedulerConfig();
+    Rng rng(options.seed);
+    const auto place_start = std::chrono::steady_clock::now();
+    const Placement placement = initialPlacement(
+        circuit, grid, rng, config.placementFor(options.policy));
+    report.placement_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - place_start)
+            .count();
+
+    const BraidScheduler scheduler(circuit, grid, config);
+    report.critical_path =
+        scheduler.dag().criticalPath(options.cost.durationFn());
+    report.result = scheduler.run(placement);
+
+    // The paper sweeps the optimizer trigger p and keeps the best; at
+    // minimum the optimizer must never lose to not triggering at all,
+    // so AutobraidFull also evaluates the p = 0 (never trigger) run.
+    if (options.policy == SchedulerPolicy::AutobraidFull &&
+        options.best_of_p0 && options.p_threshold > 0.0) {
+        SchedulerConfig no_trigger = config;
+        no_trigger.p_threshold = 0.0;
+        const BraidScheduler plain(circuit, grid, no_trigger);
+        const ScheduleResult alt = plain.run(placement);
+        if (alt.valid && alt.makespan < report.result.makespan)
+            report.result = alt;
+    }
+
+    // Maslov alternative for all-to-all coupling patterns.
+    if (options.policy == SchedulerPolicy::AutobraidFull &&
+        options.allow_maslov) {
+        const CouplingGraph coupling(circuit);
+        if (coupling.isAllToAllLike(config.all_to_all_density)) {
+            std::vector<Qubit> order(
+                static_cast<size_t>(circuit.numQubits()));
+            for (Qubit q = 0; q < circuit.numQubits(); ++q)
+                order[static_cast<size_t>(q)] = q;
+            const Placement line = snakePlacement(grid, order);
+            const ScheduleResult alt = scheduler.runMaslov(line);
+            if (alt.valid &&
+                (!report.result.valid ||
+                 alt.makespan < report.result.makespan)) {
+                report.result = alt;
+                report.used_maslov = true;
+            }
+        }
+    }
+
+    report.total_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    return report;
+}
+
+std::vector<std::pair<double, CompileReport>>
+sweepPThreshold(const Circuit &circuit, CompileOptions options,
+                const std::vector<double> &thresholds)
+{
+    std::vector<double> ps = thresholds;
+    if (ps.empty())
+        for (int i = 0; i <= 9; ++i)
+            ps.push_back(0.1 * i);
+    options.policy = SchedulerPolicy::AutobraidFull;
+    options.best_of_p0 = false; // expose each threshold's raw effect
+
+    std::vector<std::pair<double, CompileReport>> out;
+    out.reserve(ps.size());
+    for (double p : ps) {
+        CompileOptions o = options;
+        o.p_threshold = p;
+        out.emplace_back(p, compilePipeline(circuit, o));
+    }
+    return out;
+}
+
+long
+physicalQubits(const CompileReport &report,
+               const SurfaceCodeParams &params, int distance)
+{
+    return params.physicalQubits(report.grid_side * report.grid_side,
+                                 distance);
+}
+
+} // namespace autobraid

@@ -1,0 +1,469 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "common/error.hpp"
+#include "lattice/occupancy.hpp"
+#include "route/greedy_finder.hpp"
+#include "route/stack_finder.hpp"
+#include "sched/event_queue.hpp"
+#include "sched/layout_optimizer.hpp"
+#include "sched/maslov.hpp"
+
+namespace autobraid {
+namespace {
+
+/** A SWAP (or fused gate) in flight, applied to the layout on finish. */
+struct SwapRecord
+{
+    Qubit a = kNoQubit;
+    Qubit b = kNoQubit;
+};
+
+/** One scheduling run's mutable state. */
+class Engine
+{
+  public:
+    Engine(const Circuit &circuit, const Dag &dag, const Grid &grid,
+           const SchedulerConfig &config, const Placement &placement,
+           bool maslov_mode)
+        : criticality_(dag.criticality(config.cost.durationFn())),
+          circuit_(&circuit),
+          grid_(&grid),
+          config_(&config),
+          placement_(placement),
+          front_(dag),
+          occ_(grid),
+          busy_until_(static_cast<size_t>(circuit.numQubits()), 0),
+          optimizer_(grid),
+          network_(grid),
+          maslov_mode_(maslov_mode),
+          level_sync_(!maslov_mode &&
+                      config.policy == SchedulerPolicy::Baseline),
+          in_level_(circuit.size(), 0),
+          dead_(static_cast<size_t>(grid.numVertices()), 0)
+    {
+        for (VertexId v : config.dead_vertices) {
+            require(v >= 0 && v < grid.numVertices(),
+                    "dead vertex out of range");
+            dead_[static_cast<size_t>(v)] = 1;
+        }
+        if (maslov_mode ||
+            config.policy != SchedulerPolicy::Baseline) {
+            finder_ = std::make_unique<StackPathFinder>(grid);
+        } else {
+            // With lattice defects the fixed NW corner may be dead, so
+            // the baseline falls back to all-corner endpoints.
+            finder_ = std::make_unique<GreedyPathFinder>(
+                grid, config.baseline_order,
+                !config.dead_vertices.empty());
+        }
+    }
+
+    ScheduleResult
+    run()
+    {
+        const auto wall_start = std::chrono::steady_clock::now();
+        dispatch(0);
+        while (!front_.done()) {
+            if (events_.empty()) {
+                if (maslov_mode_) {
+                    result_.valid = false; // starved; caller discards
+                    break;
+                }
+                panic("BraidScheduler: deadlock with %zu gates left",
+                      circuit_->size() - front_.retiredCount());
+            }
+            const Cycles t = events_.nextTime();
+            for (const Event &e : events_.popBatch())
+                complete(t, e);
+            if (front_.done())
+                break;
+            dispatch(t);
+            if (maslov_mode_ &&
+                phases_without_execution_ >
+                    4 * static_cast<size_t>(grid_->numCells()) + 16) {
+                result_.valid = false;
+                break;
+            }
+        }
+        result_.makespan = makespan_;
+        const size_t total_vertices =
+            static_cast<size_t>(grid_->numVertices());
+        if (makespan_ > 0)
+            result_.avg_utilization =
+                vertex_cycles_ / (static_cast<double>(makespan_) *
+                                  static_cast<double>(total_vertices));
+        result_.compile_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        return result_;
+    }
+
+  private:
+    const std::vector<Cycles> criticality_;
+    const Circuit *circuit_;
+    const Grid *grid_;
+    const SchedulerConfig *config_;
+    Placement placement_;
+    ReadyFront front_;
+    TimedOccupancy occ_;
+    EventQueue events_;
+    std::vector<Cycles> busy_until_;
+    std::unique_ptr<PathFinder> finder_;
+    LayoutOptimizer optimizer_;
+    SwapNetwork network_;
+    const bool maslov_mode_;
+
+    /**
+     * The baseline executes the circuit level by level, with no overlap
+     * across dependence levels (the GP scheduler of [10] processes one
+     * time-step's gates to completion before starting the next).
+     */
+    const bool level_sync_;
+    std::vector<uint8_t> in_level_;
+    size_t level_remaining_ = 0;
+    std::vector<uint8_t> dead_;
+
+    std::vector<SwapRecord> swap_records_;
+    size_t swaps_in_flight_ = 0;
+    size_t braids_in_flight_ = 0;
+    size_t gates_in_flight_ = 0;
+    int parity_ = 0;
+    size_t phases_without_execution_ = 0;
+    Cycles makespan_ = 0;
+    double vertex_cycles_ = 0;
+    ScheduleResult result_;
+
+    bool
+    qubitFree(Qubit q, Cycles t) const
+    {
+        return busy_until_[static_cast<size_t>(q)] <= t;
+    }
+
+    bool
+    operandsFree(const Gate &g, Cycles t) const
+    {
+        return qubitFree(g.q0, t) &&
+               (g.q1 == kNoQubit || qubitFree(g.q1, t));
+    }
+
+    void
+    markBusy(const Gate &g, Cycles until)
+    {
+        busy_until_[static_cast<size_t>(g.q0)] = until;
+        if (g.q1 != kNoQubit)
+            busy_until_[static_cast<size_t>(g.q1)] = until;
+    }
+
+    /** Retire a gate, with level bookkeeping for the baseline. */
+    void
+    retireGate(GateIdx g, Cycles t)
+    {
+        front_.retire(g);
+        ++result_.gates_scheduled;
+        makespan_ = std::max(makespan_, t);
+        if (level_sync_ && in_level_[g]) {
+            in_level_[g] = 0;
+            require(level_remaining_ > 0, "level bookkeeping underflow");
+            --level_remaining_;
+        }
+    }
+
+    /** Admit every currently ready gate into the next baseline level. */
+    void
+    refreshLevel()
+    {
+        for (GateIdx g : front_.ready()) {
+            in_level_[g] = 1;
+            ++level_remaining_;
+        }
+    }
+
+    /** True when a gate may dispatch now (level gating for baseline). */
+    bool
+    admitted(GateIdx g) const
+    {
+        return !level_sync_ || in_level_[g];
+    }
+
+    /** Process one completion event. */
+    void
+    complete(Cycles t, const Event &e)
+    {
+        if (e.kind == Event::Kind::GateFinish) {
+            const auto g = static_cast<GateIdx>(e.payload);
+            if (needsBraid(circuit_->gate(g).kind)) {
+                require(braids_in_flight_ > 0,
+                        "braid completion underflow");
+                --braids_in_flight_;
+            }
+            require(gates_in_flight_ > 0, "gate completion underflow");
+            --gates_in_flight_;
+            retireGate(g, t);
+        } else {
+            const SwapRecord &rec = swap_records_[e.payload];
+            placement_.swapQubits(rec.a, rec.b);
+            require(swaps_in_flight_ > 0, "swap completion underflow");
+            --swaps_in_flight_;
+        }
+    }
+
+    /** Dispatch everything possible at instant @p t. */
+    void
+    dispatch(Cycles t)
+    {
+        ++result_.dispatch_instants;
+        // A refreshed level may consist entirely of zero-latency gates;
+        // keep refreshing until the level has pending work.
+        do {
+            if (level_sync_ && level_remaining_ == 0)
+                refreshLevel();
+            dispatchLocalGates(t);
+        } while (level_sync_ && level_remaining_ == 0 &&
+                 !front_.done());
+
+        std::vector<GateIdx> braid_gates;
+        for (GateIdx g : front_.ready()) {
+            const Gate &gate = circuit_->gate(g);
+            if (needsBraid(gate.kind) && operandsFree(gate, t) &&
+                admitted(g))
+                braid_gates.push_back(g);
+        }
+        if (braid_gates.empty())
+            return;
+        // Deterministic task order regardless of ready-set churn.
+        std::sort(braid_gates.begin(), braid_gates.end());
+        if (maslov_mode_)
+            dispatchBraidsMaslov(t, braid_gates);
+        else
+            dispatchBraids(t, braid_gates);
+
+        const double util =
+            static_cast<double>(occ_.busyCount(t)) /
+            static_cast<double>(grid_->numVertices());
+        result_.peak_utilization =
+            std::max(result_.peak_utilization, util);
+        result_.max_concurrent_braids =
+            std::max(result_.max_concurrent_braids,
+                     braids_in_flight_ + swaps_in_flight_);
+    }
+
+    /** Issue tile-local gates; zero-latency ones retire immediately. */
+    void
+    dispatchLocalGates(Cycles t)
+    {
+        bool repeat = true;
+        while (repeat) {
+            repeat = false;
+            const std::vector<GateIdx> snapshot = front_.ready();
+            for (GateIdx g : snapshot) {
+                const Gate &gate = circuit_->gate(g);
+                if (needsBraid(gate.kind) || !operandsFree(gate, t) ||
+                    !admitted(g))
+                    continue;
+                front_.issue(g);
+                const Cycles dur = config_->cost.duration(gate);
+                if (config_->record_trace)
+                    result_.trace.push_back(
+                        TraceEntry{g, t, t + dur, Path{}, t + dur,
+                                   kNoQubit, kNoQubit});
+                if (dur == 0) {
+                    retireGate(g, t);
+                    repeat = true;
+                } else {
+                    markBusy(gate, t + dur);
+                    ++gates_in_flight_;
+                    events_.push(Event{t + dur,
+                                       Event::Kind::GateFinish,
+                                       static_cast<uint64_t>(g)});
+                }
+            }
+        }
+    }
+
+    BlockedFn
+    blockedAt(Cycles t) const
+    {
+        return [this, t](VertexId v) {
+            return dead_[static_cast<size_t>(v)] != 0 ||
+                   !occ_.freeAt(v, t);
+        };
+    }
+
+    /** Channel occupancy window for a braid of duration @p dur. */
+    Cycles
+    channelHold(Cycles dur) const
+    {
+        const Cycles hold = config_->channel_hold_cycles;
+        if (hold == 0 || hold > dur)
+            return dur;
+        return hold;
+    }
+
+    /** Issue one routed braid gate. */
+    void
+    issueBraid(Cycles t, GateIdx g, const Path &path)
+    {
+        const Gate &gate = circuit_->gate(g);
+        front_.issue(g);
+        const Cycles dur = config_->cost.duration(gate);
+        const Cycles hold = channelHold(dur);
+        occ_.reserve(path.vertices, t + hold);
+        markBusy(gate, t + dur);
+        events_.push(Event{t + dur, Event::Kind::GateFinish,
+                           static_cast<uint64_t>(g)});
+        ++braids_in_flight_;
+        ++gates_in_flight_;
+        ++result_.braids_routed;
+        vertex_cycles_ += static_cast<double>(path.length()) *
+                          static_cast<double>(hold);
+        if (config_->record_trace)
+            result_.trace.push_back(TraceEntry{
+                g, t, t + dur, path, t + hold, kNoQubit, kNoQubit});
+    }
+
+    /** Issue one layout/network SWAP. */
+    void
+    issueSwap(Cycles t, Qubit a, Qubit b, const Path &path)
+    {
+        const Cycles dur = config_->cost.swapCycles();
+        occ_.reserve(path.vertices, t + dur);
+        busy_until_[static_cast<size_t>(a)] = t + dur;
+        busy_until_[static_cast<size_t>(b)] = t + dur;
+        swap_records_.push_back(SwapRecord{a, b});
+        events_.push(Event{t + dur, Event::Kind::SwapFinish,
+                           swap_records_.size() - 1});
+        ++swaps_in_flight_;
+        ++result_.swaps_inserted;
+        vertex_cycles_ += static_cast<double>(path.length()) *
+                          static_cast<double>(dur);
+        if (config_->record_trace)
+            result_.trace.push_back(
+                TraceEntry{kNoGate, t, t + dur, path, t + dur, a, b});
+    }
+
+    /** Build routing tasks with criticality priorities filled in. */
+    std::vector<CxTask>
+    makeTasks(const std::vector<GateIdx> &gates) const
+    {
+        auto tasks = placement_.tasks(*circuit_, gates);
+        for (CxTask &task : tasks)
+            task.priority =
+                static_cast<long>(criticality_[task.gate]);
+        return tasks;
+    }
+
+    /** Standard-mode CX dispatch: path finder + layout optimizer. */
+    void
+    dispatchBraids(Cycles t, const std::vector<GateIdx> &gates)
+    {
+        const auto tasks = makeTasks(gates);
+        auto outcome = finder_->findPaths(tasks, blockedAt(t));
+        for (const auto &[idx, path] : outcome.routed)
+            issueBraid(t, gates[idx], path);
+        result_.routing_failures += outcome.failed.size();
+
+        const bool trigger =
+            config_->policy == SchedulerPolicy::AutobraidFull &&
+            swaps_in_flight_ == 0 && outcome.failed.size() >= 2 &&
+            outcome.ratio < config_->p_threshold;
+        if (!trigger)
+            return;
+        ++result_.layout_invocations;
+        std::vector<CxTask> failed_tasks;
+        failed_tasks.reserve(outcome.failed.size());
+        for (size_t idx : outcome.failed)
+            failed_tasks.push_back(tasks[idx]);
+        std::vector<uint8_t> movable(
+            static_cast<size_t>(circuit_->numQubits()), 0);
+        for (Qubit q = 0; q < circuit_->numQubits(); ++q)
+            movable[static_cast<size_t>(q)] = qubitFree(q, t) ? 1 : 0;
+        const auto plan = optimizer_.propose(failed_tasks, placement_,
+                                             blockedAt(t), movable);
+        for (const PlannedSwap &s : plan)
+            issueSwap(t, s.a, s.b, s.path);
+    }
+
+    /** Maslov-mode dispatch: neighbour CX + odd-even swap phases. */
+    void
+    dispatchBraidsMaslov(Cycles t, const std::vector<GateIdx> &gates)
+    {
+        // Execute ready CX gates whose tiles are grid neighbours.
+        std::vector<GateIdx> adjacent;
+        for (GateIdx g : gates) {
+            const Gate &gate = circuit_->gate(g);
+            if (placement_.cellOf(gate.q0)
+                    .dist(placement_.cellOf(gate.q1)) == 1)
+                adjacent.push_back(g);
+        }
+        size_t issued = 0;
+        if (!adjacent.empty()) {
+            const auto tasks = makeTasks(adjacent);
+            auto outcome = finder_->findPaths(tasks, blockedAt(t));
+            for (const auto &[idx, path] : outcome.routed)
+                issueBraid(t, adjacent[idx], path);
+            issued = outcome.routed.size();
+        }
+        if (issued > 0)
+            phases_without_execution_ = 0;
+
+        // When stalled with a fully idle machine, advance the network
+        // by one odd-even transposition phase. Waiting for tile-local
+        // gates too is essential: a decomposed CPhase is CX - RZ - CX,
+        // and swapping its operands apart between the two CXs would
+        // churn the network.
+        const bool stalled = issued == 0 && gates_in_flight_ == 0 &&
+                             swaps_in_flight_ == 0;
+        if (!stalled)
+            return;
+        ++phases_without_execution_;
+        std::vector<uint8_t> excluded(
+            static_cast<size_t>(circuit_->numQubits()), 0);
+        for (Qubit q = 0; q < circuit_->numQubits(); ++q)
+            excluded[static_cast<size_t>(q)] =
+                qubitFree(q, t) ? 0 : 1;
+        const auto pairs =
+            network_.phasePairs(parity_, placement_, excluded);
+        parity_ ^= 1;
+        std::vector<CxTask> swap_tasks;
+        swap_tasks.reserve(pairs.size());
+        for (size_t i = 0; i < pairs.size(); ++i)
+            swap_tasks.push_back(
+                CxTask::make(i, placement_.cellOf(pairs[i].first),
+                             placement_.cellOf(pairs[i].second)));
+        auto outcome = finder_->findPaths(swap_tasks, blockedAt(t));
+        for (const auto &[idx, path] : outcome.routed)
+            issueSwap(t, pairs[idx].first, pairs[idx].second, path);
+    }
+};
+
+} // namespace
+
+BraidScheduler::BraidScheduler(const Circuit &circuit, const Grid &grid,
+                               const SchedulerConfig &config)
+    : circuit_(&circuit), grid_(&grid), config_(config), dag_(circuit)
+{
+    if (circuit.numQubits() > grid.numCells())
+        fatal("circuit has %d qubits but the grid only has %d tiles",
+              circuit.numQubits(), grid.numCells());
+}
+
+ScheduleResult
+BraidScheduler::run(const Placement &placement) const
+{
+    Engine engine(*circuit_, dag_, *grid_, config_, placement, false);
+    return engine.run();
+}
+
+ScheduleResult
+BraidScheduler::runMaslov(const Placement &placement) const
+{
+    Engine engine(*circuit_, dag_, *grid_, config_, placement, true);
+    return engine.run();
+}
+
+} // namespace autobraid

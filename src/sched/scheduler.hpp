@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Event-driven braid scheduler (paper Fig. 10, stage 3).
+ *
+ * The scheduler walks the dependence DAG with a discrete-event loop. At
+ * every scheduling instant it dispatches ready tile-local gates
+ * immediately and hands the ready CX gates to the policy's path finder
+ * (greedy baseline or AutoBraid's stack finder); routed braids reserve
+ * their vertices for the CX duration. Under the AutobraidFull policy a
+ * scheduling ratio below p% triggers the dynamic layout optimizer, which
+ * inserts simultaneously routable SWAPs; and for all-to-all coupling
+ * patterns a separate Maslov swap-network mode is also run, the better
+ * schedule winning (paper §3.3.2).
+ */
+
+#ifndef AUTOBRAID_SCHED_SCHEDULER_HPP
+#define AUTOBRAID_SCHED_SCHEDULER_HPP
+
+#include "circuit/dag.hpp"
+#include "place/placement.hpp"
+#include "sched/metrics.hpp"
+#include "sched/policy.hpp"
+
+namespace autobraid {
+
+/** Schedules one circuit onto one grid under one policy. */
+class BraidScheduler
+{
+  public:
+    /**
+     * @param circuit circuit to schedule (must outlive the scheduler)
+     * @param grid tile grid (must outlive the scheduler)
+     * @param config policy and cost model
+     */
+    BraidScheduler(const Circuit &circuit, const Grid &grid,
+                   const SchedulerConfig &config);
+
+    /** Run the policy's standard mode from @p placement. */
+    ScheduleResult run(const Placement &placement) const;
+
+    /**
+     * Run the Maslov swap-network mode from @p placement (qubits should
+     * occupy a snake prefix). Sets result.valid = false if the mode
+     * starves (the caller then discards it).
+     */
+    ScheduleResult runMaslov(const Placement &placement) const;
+
+    /** The dependence DAG (shared with the harness for CP numbers). */
+    const Dag &dag() const { return dag_; }
+
+  private:
+    const Circuit *circuit_;
+    const Grid *grid_;
+    SchedulerConfig config_;
+    Dag dag_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_SCHED_SCHEDULER_HPP

@@ -1,0 +1,190 @@
+#include "sched/validator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/text.hpp"
+
+namespace autobraid {
+
+void
+ValidationReport::fail(std::string message)
+{
+    ok = false;
+    errors.push_back(std::move(message));
+}
+
+std::string
+ValidationReport::toString() const
+{
+    std::string out;
+    for (const std::string &e : errors) {
+        if (!out.empty())
+            out += "\n";
+        out += e;
+    }
+    return out;
+}
+
+ValidationReport
+validateSchedule(const Circuit &circuit, const ScheduleResult &result,
+                 const CostModel &cost, const Grid *grid,
+                 size_t max_errors)
+{
+    ValidationReport report;
+    auto fail = [&report, max_errors](std::string msg) {
+        if (report.errors.size() < max_errors)
+            report.fail(std::move(msg));
+        else
+            report.ok = false;
+    };
+
+    if (!result.valid) {
+        fail("result is marked invalid");
+        return report;
+    }
+    if (result.trace.empty()) {
+        fail("no trace recorded; enable SchedulerConfig::record_trace");
+        return report;
+    }
+
+    // 1. Coverage: every gate exactly once; swaps accounted.
+    std::map<GateIdx, const TraceEntry *> by_gate;
+    size_t swap_entries = 0;
+    for (const TraceEntry &e : result.trace) {
+        if (e.gate == kNoGate) {
+            ++swap_entries;
+            if (e.swap_a == kNoQubit || e.swap_b == kNoQubit)
+                fail("swap entry without qubit pair");
+            if (e.path.empty())
+                fail("swap entry without a braiding path");
+            continue;
+        }
+        if (e.gate >= circuit.size()) {
+            fail(strformat("trace references gate %zu beyond circuit "
+                           "size %zu",
+                           e.gate, circuit.size()));
+            continue;
+        }
+        if (!by_gate.emplace(e.gate, &e).second)
+            fail(strformat("gate %zu scheduled twice", e.gate));
+    }
+    if (by_gate.size() != circuit.size())
+        fail(strformat("%zu of %zu gates missing from the trace",
+                       circuit.size() - by_gate.size(),
+                       circuit.size()));
+    if (swap_entries != result.swaps_inserted)
+        fail(strformat("trace has %zu swap entries but result reports "
+                       "%zu",
+                       swap_entries, result.swaps_inserted));
+
+    // 2. Durations and makespan.
+    for (const auto &[g, e] : by_gate) {
+        const Gate &gate = circuit.gate(g);
+        const Cycles want = cost.duration(gate);
+        if (e->finish - e->start != want)
+            fail(strformat("gate %zu (%s): duration %llu, expected "
+                           "%llu",
+                           g, gate.toString().c_str(),
+                           static_cast<unsigned long long>(
+                               e->finish - e->start),
+                           static_cast<unsigned long long>(want)));
+        if (e->finish > result.makespan)
+            fail(strformat("gate %zu finishes at %llu past makespan "
+                           "%llu",
+                           g,
+                           static_cast<unsigned long long>(e->finish),
+                           static_cast<unsigned long long>(
+                               result.makespan)));
+        if (needsBraid(gate.kind) && e->path.empty())
+            fail(strformat("braid gate %zu has no path", g));
+    }
+
+    // 3. Dependence order.
+    if (by_gate.size() == circuit.size()) {
+        const Dag dag(circuit);
+        for (GateIdx g = 0; g < circuit.size(); ++g)
+            for (GateIdx p : dag.preds(g))
+                if (by_gate.at(g)->start < by_gate.at(p)->finish)
+                    fail(strformat("gate %zu starts at %llu before "
+                                   "predecessor %zu finishes at %llu",
+                                   g,
+                                   static_cast<unsigned long long>(
+                                       by_gate.at(g)->start),
+                                   p,
+                                   static_cast<unsigned long long>(
+                                       by_gate.at(p)->finish)));
+    }
+
+    // 4. Path well-formedness (geometry only; endpoint anchoring needs
+    //    per-issue placements, so only adjacency/simplicity is checked
+    //    unless the caller knows the layout was static).
+    if (grid != nullptr) {
+        for (const TraceEntry &e : result.trace) {
+            if (e.path.empty())
+                continue;
+            for (size_t i = 0; i < e.path.vertices.size(); ++i) {
+                const VertexId v = e.path.vertices[i];
+                if (v < 0 || v >= grid->numVertices()) {
+                    fail(strformat("path vertex id %d out of range",
+                                   v));
+                    break;
+                }
+                if (i > 0) {
+                    const Vertex a =
+                        grid->vertex(e.path.vertices[i - 1]);
+                    const Vertex b = grid->vertex(v);
+                    if (a.dist(b) != 1) {
+                        fail(strformat("path hop %s -> %s is not a "
+                                       "unit channel segment",
+                                       a.toString().c_str(),
+                                       b.toString().c_str()));
+                        break;
+                    }
+                }
+                if (std::count(e.path.vertices.begin(),
+                               e.path.vertices.end(), v) != 1) {
+                    fail("path revisits a vertex");
+                    break;
+                }
+            }
+        }
+    }
+
+    // 5. Temporally overlapping braids must be vertex-disjoint.
+    std::vector<const TraceEntry *> braids;
+    for (const TraceEntry &e : result.trace)
+        if (!e.path.empty())
+            braids.push_back(&e);
+    std::sort(braids.begin(), braids.end(),
+              [](const TraceEntry *a, const TraceEntry *b) {
+                  return a->start < b->start;
+              });
+    // The channel is held until channel_release (== finish for
+    // braiding; earlier in teleportation mode; 0 in hand-built traces
+    // means "use finish").
+    auto release = [](const TraceEntry &e) {
+        return e.channel_release > 0 ? e.channel_release : e.finish;
+    };
+    for (size_t i = 0; i < braids.size(); ++i) {
+        for (size_t j = i + 1; j < braids.size(); ++j) {
+            const TraceEntry &a = *braids[i];
+            const TraceEntry &b = *braids[j];
+            if (b.start >= release(a))
+                break; // sorted by start: no later overlap either
+            for (VertexId va : a.path.vertices) {
+                if (std::find(b.path.vertices.begin(),
+                              b.path.vertices.end(),
+                              va) != b.path.vertices.end()) {
+                    fail(strformat(
+                        "braids overlapping in time share vertex %d",
+                        va));
+                    break;
+                }
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace autobraid

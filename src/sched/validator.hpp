@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Schedule validation.
+ *
+ * Checks a traced schedule against the surface-code braiding rules:
+ * every gate scheduled exactly once, durations consistent with the
+ * cost model, dependence order respected, braid paths well-formed and
+ * anchored at the operand tiles' corners, and temporally overlapping
+ * braids vertex-disjoint. Downstream users can run any third-party
+ * schedule through this before trusting it; the test suite runs every
+ * scheduler mode through it.
+ */
+
+#ifndef AUTOBRAID_SCHED_VALIDATOR_HPP
+#define AUTOBRAID_SCHED_VALIDATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "lattice/geometry.hpp"
+#include "sched/metrics.hpp"
+
+namespace autobraid {
+
+/** Outcome of validating one schedule. */
+struct ValidationReport
+{
+    bool ok = true;
+    std::vector<std::string> errors;
+
+    /** Append a failure. */
+    void fail(std::string message);
+
+    /** All errors joined with newlines ("" when ok). */
+    std::string toString() const;
+};
+
+/**
+ * Validate @p result against @p circuit under @p cost.
+ *
+ * The trace must be present (SchedulerConfig::record_trace). Endpoint
+ * anchoring is only checked when @p grid is non-null; pass null when
+ * the placement changed dynamically (SWAP insertion) and per-gate tile
+ * locations at issue time are not reconstructible.
+ *
+ * @param max_errors stop after this many failures.
+ */
+ValidationReport validateSchedule(const Circuit &circuit,
+                                  const ScheduleResult &result,
+                                  const CostModel &cost,
+                                  const Grid *grid = nullptr,
+                                  size_t max_errors = 32);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_SCHED_VALIDATOR_HPP

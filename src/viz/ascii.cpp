@@ -1,0 +1,124 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace viz {
+
+std::string
+renderPlacement(const Grid &grid, const Placement &placement)
+{
+    std::string out;
+    for (int r = 0; r < grid.rows(); ++r) {
+        for (int c = 0; c < grid.cols(); ++c) {
+            const Qubit q = placement.qubitAt(grid.cid(Cell{r, c}));
+            if (q == kNoQubit)
+                out += "[ ..]";
+            else
+                out += strformat("[%3d]", q);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderPaths(const Grid &grid, const std::vector<Path> &paths,
+            const DefectMap *defects)
+{
+    // Canvas: vertex (r, c) at row 2r, column 4c; horizontal edges as
+    // '---', vertical edges as '|'; tiles are the blanks in between.
+    const int canvas_rows = 2 * grid.vertexRows() - 1;
+    const int canvas_cols = 4 * (grid.vertexCols() - 1) + 1;
+    std::vector<std::string> canvas(
+        static_cast<size_t>(canvas_rows),
+        std::string(static_cast<size_t>(canvas_cols), ' '));
+
+    for (int r = 0; r < grid.vertexRows(); ++r)
+        for (int c = 0; c < grid.vertexCols(); ++c)
+            canvas[static_cast<size_t>(2 * r)]
+                  [static_cast<size_t>(4 * c)] = '+';
+
+    if (defects) {
+        for (int r = 0; r < grid.vertexRows(); ++r)
+            for (int c = 0; c < grid.vertexCols(); ++c)
+                if (defects->dead(grid.vid(Vertex{r, c})))
+                    canvas[static_cast<size_t>(2 * r)]
+                          [static_cast<size_t>(4 * c)] = 'X';
+    }
+
+    for (size_t p = 0; p < paths.size(); ++p) {
+        const char label = static_cast<char>('A' + (p % 26));
+        const Path &path = paths[p];
+        for (size_t i = 0; i < path.vertices.size(); ++i) {
+            const Vertex v = grid.vertex(path.vertices[i]);
+            canvas[static_cast<size_t>(2 * v.r)]
+                  [static_cast<size_t>(4 * v.c)] = label;
+            if (i == 0)
+                continue;
+            const Vertex u = grid.vertex(path.vertices[i - 1]);
+            if (u.r == v.r) {
+                const int cmin = std::min(u.c, v.c);
+                for (int k = 1; k <= 3; ++k)
+                    canvas[static_cast<size_t>(2 * v.r)]
+                          [static_cast<size_t>(4 * cmin + k)] = '-';
+            } else {
+                const int rmin = std::min(u.r, v.r);
+                canvas[static_cast<size_t>(2 * rmin + 1)]
+                      [static_cast<size_t>(4 * v.c)] = '|';
+            }
+        }
+    }
+
+    std::string out;
+    for (const std::string &row : canvas) {
+        out += row;
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderActivity(const ScheduleResult &result, int buckets)
+{
+    if (result.trace.empty() || result.makespan == 0 || buckets <= 0)
+        return "(no trace)\n";
+    std::vector<int> active(static_cast<size_t>(buckets), 0);
+    const double scale = static_cast<double>(buckets) /
+                         static_cast<double>(result.makespan);
+    for (const TraceEntry &e : result.trace) {
+        if (e.path.empty())
+            continue; // tile-local
+        auto b0 = static_cast<int>(
+            static_cast<double>(e.start) * scale);
+        auto b1 = static_cast<int>(
+            static_cast<double>(e.finish - 1) * scale);
+        b0 = std::clamp(b0, 0, buckets - 1);
+        b1 = std::clamp(b1, b0, buckets - 1);
+        for (int b = b0; b <= b1; ++b)
+            ++active[static_cast<size_t>(b)];
+    }
+    const int peak = *std::max_element(active.begin(), active.end());
+    std::string out = strformat(
+        "braid concurrency over time (peak %d):\n", peak);
+    const int height = std::min(8, std::max(1, peak));
+    for (int h = height; h >= 1; --h) {
+        const double threshold =
+            static_cast<double>(h) / height * peak;
+        out += "  ";
+        for (int b = 0; b < buckets; ++b)
+            out += active[static_cast<size_t>(b)] >= threshold ? '#'
+                                                               : ' ';
+        out += "\n";
+    }
+    out += "  " + std::string(static_cast<size_t>(buckets), '-') +
+           "\n  0" +
+           std::string(static_cast<size_t>(buckets - 8), ' ') +
+           "makespan\n";
+    return out;
+}
+
+} // namespace viz
+} // namespace autobraid

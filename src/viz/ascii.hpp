@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII rendering of lattices, placements, braiding paths, and
+ * schedule activity — the debugging view for everything the scheduler
+ * does. Paths render like the paper's Fig. 5/8 grid diagrams: tiles as
+ * cells, channel intersections as '+', and each path as a distinct
+ * letter along the vertices it occupies.
+ */
+
+#ifndef AUTOBRAID_VIZ_ASCII_HPP
+#define AUTOBRAID_VIZ_ASCII_HPP
+
+#include <string>
+#include <vector>
+
+#include "lattice/defects.hpp"
+#include "place/placement.hpp"
+#include "route/path.hpp"
+#include "sched/metrics.hpp"
+
+namespace autobraid {
+namespace viz {
+
+/**
+ * Render the tile grid with qubit occupancy: each tile shows its
+ * qubit id (".." when empty).
+ */
+std::string renderPlacement(const Grid &grid,
+                            const Placement &placement);
+
+/**
+ * Render a set of braiding paths on the channel grid. Path i is drawn
+ * with letter 'A' + (i % 26) on its vertices; '+' marks free
+ * intersections; 'X' marks dead vertices when @p defects is non-null.
+ */
+std::string renderPaths(const Grid &grid,
+                        const std::vector<Path> &paths,
+                        const DefectMap *defects = nullptr);
+
+/**
+ * Render braid concurrency over time as a horizontal bar chart with
+ * @p buckets time buckets (requires a recorded trace).
+ */
+std::string renderActivity(const ScheduleResult &result,
+                           int buckets = 60);
+
+} // namespace viz
+} // namespace autobraid
+
+#endif // AUTOBRAID_VIZ_ASCII_HPP

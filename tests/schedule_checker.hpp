@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared test helper: validates a traced schedule against the surface
+ * code braiding rules — dependence order, vertex-disjointness of
+ * temporally overlapping braids, path well-formedness, and duration
+ * consistency with the cost model.
+ */
+
+#ifndef AUTOBRAID_TESTS_SCHEDULE_CHECKER_HPP
+#define AUTOBRAID_TESTS_SCHEDULE_CHECKER_HPP
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuit/dag.hpp"
+#include "sched/metrics.hpp"
+
+namespace autobraid {
+namespace testutil {
+
+/** Assert that @p result's trace is a legal schedule of @p circuit. */
+inline void
+expectValidSchedule(const Circuit &circuit, const ScheduleResult &result,
+                    const CostModel &cost)
+{
+    ASSERT_TRUE(result.valid);
+    ASSERT_FALSE(result.trace.empty());
+
+    // 1. Every circuit gate appears exactly once.
+    std::map<GateIdx, const TraceEntry *> by_gate;
+    size_t swap_entries = 0;
+    for (const TraceEntry &e : result.trace) {
+        if (e.gate == kNoGate) {
+            ++swap_entries;
+            EXPECT_NE(e.swap_a, kNoQubit);
+            EXPECT_FALSE(e.path.empty());
+            continue;
+        }
+        EXPECT_TRUE(by_gate.emplace(e.gate, &e).second)
+            << "gate " << e.gate << " scheduled twice";
+    }
+    EXPECT_EQ(by_gate.size(), circuit.size());
+    EXPECT_EQ(swap_entries, result.swaps_inserted);
+
+    // 2. Durations match the cost model; makespan covers every gate.
+    for (const auto &[g, e] : by_gate) {
+        EXPECT_EQ(e->finish - e->start,
+                  cost.duration(circuit.gate(g)))
+            << circuit.gate(g).toString();
+        EXPECT_LE(e->finish, result.makespan);
+        if (needsBraid(circuit.gate(g).kind)) {
+            EXPECT_FALSE(e->path.empty());
+        }
+    }
+
+    // 3. Dependences: a gate starts no earlier than any predecessor's
+    //    finish.
+    const Dag dag(circuit);
+    for (GateIdx g = 0; g < circuit.size(); ++g) {
+        for (GateIdx p : dag.preds(g)) {
+            EXPECT_GE(by_gate.at(g)->start, by_gate.at(p)->finish)
+                << "gate " << g << " starts before predecessor " << p;
+        }
+    }
+
+    // 4. Temporally overlapping braids are vertex-disjoint.
+    std::vector<const TraceEntry *> braids;
+    for (const TraceEntry &e : result.trace)
+        if (!e.path.empty())
+            braids.push_back(&e);
+    auto release = [](const TraceEntry &e) {
+        return e.channel_release > 0 ? e.channel_release : e.finish;
+    };
+    for (size_t i = 0; i < braids.size(); ++i) {
+        for (size_t j = i + 1; j < braids.size(); ++j) {
+            const TraceEntry &a = *braids[i];
+            const TraceEntry &b = *braids[j];
+            if (release(a) <= b.start || release(b) <= a.start)
+                continue; // channels disjoint in time
+            for (VertexId va : a.path.vertices)
+                for (VertexId vb : b.path.vertices)
+                    EXPECT_NE(va, vb)
+                        << "overlapping braids share vertex " << va;
+        }
+    }
+}
+
+} // namespace testutil
+} // namespace autobraid
+
+#endif // AUTOBRAID_TESTS_SCHEDULE_CHECKER_HPP

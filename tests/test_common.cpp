@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the common utilities: error types, RNG, statistics
+ * accumulators, and text helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace {
+
+TEST(Error, FatalThrowsUserError)
+{
+    EXPECT_THROW(fatal("bad input %d", 42), UserError);
+    try {
+        fatal("bad input %d", 42);
+    } catch (const UserError &e) {
+        EXPECT_STREQ(e.what(), "bad input 42");
+    }
+}
+
+TEST(Error, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("invariant %s", "broken"), InternalError);
+}
+
+TEST(Error, UserErrorIsNotInternalError)
+{
+    try {
+        fatal("x");
+        FAIL() << "fatal did not throw";
+    } catch (const InternalError &) {
+        FAIL() << "fatal threw InternalError";
+    } catch (const UserError &) {
+        SUCCEED();
+    }
+}
+
+TEST(Error, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(require(true, "fine"));
+    EXPECT_THROW(require(false, "broken"), InternalError);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.intIn(0, 1000), b.intIn(0, 1000));
+}
+
+TEST(Rng, IntInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.intIn(-5, 7);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, IntInCoversRange)
+{
+    Rng rng(2);
+    std::set<int> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.intIn(0, 4));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, IndexRejectsEmpty)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.index(0), InternalError);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(5);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(6);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Accumulator, Empty)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_THROW(acc.min(), InternalError);
+    EXPECT_THROW(acc.max(), InternalError);
+}
+
+TEST(Accumulator, BasicStatistics)
+{
+    Accumulator acc;
+    for (double x : {3.0, -1.0, 4.0, 1.0, 5.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 5u);
+    EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.4);
+    EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, Merge)
+{
+    Accumulator a, b;
+    a.add(1.0);
+    a.add(2.0);
+    b.add(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(1);
+    h.add(3);
+    h.add(3);
+    h.add(99); // overflow
+    h.add(-2); // clamps to 0
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(2), 0u);
+    EXPECT_EQ(h.bin(3), 2u);
+    EXPECT_EQ(h.bin(4), 1u); // overflow bin
+    EXPECT_THROW(h.bin(5), InternalError);
+}
+
+TEST(Histogram, RejectsZeroBins)
+{
+    EXPECT_THROW(Histogram(0), InternalError);
+}
+
+TEST(Text, Strformat)
+{
+    EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strformat("%.2f", 1.005), "1.00");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(Text, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim("\t\nx\r "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Text, Split)
+{
+    EXPECT_EQ(split("a:b:c", ':'),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("::a::", ':'), (std::vector<std::string>{"a"}));
+    EXPECT_TRUE(split("", ':').empty());
+}
+
+TEST(Text, StartsWith)
+{
+    EXPECT_TRUE(startsWith("qft:100", "qft"));
+    EXPECT_FALSE(startsWith("qf", "qft"));
+    EXPECT_TRUE(startsWith("anything", ""));
+}
+
+TEST(Text, HumanQuantityPaperStyle)
+{
+    EXPECT_EQ(humanQuantity(950), "950");
+    EXPECT_EQ(humanQuantity(1280), "1.28K");
+    EXPECT_EQ(humanQuantity(19200), "19.2K");
+    EXPECT_EQ(humanQuantity(149000), "149K");
+    EXPECT_EQ(humanQuantity(3630000), "3.63M");
+    EXPECT_EQ(humanQuantity(70.4e6), "70.4M");
+    EXPECT_EQ(humanQuantity(2.5e9), "2.5G");
+    EXPECT_EQ(humanQuantity(-1280), "-1.28K");
+    EXPECT_EQ(humanQuantity(0), "0");
+}
+
+} // namespace
+} // namespace autobraid

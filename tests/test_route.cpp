@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Unit tests for routing: path validation, multi-corner A*, the CX
+ * interference graph, the stack-based finder (incl. the paper's Fig. 8
+ * order-dependence and Fig. 14 size-7 LLG scenarios), and the greedy
+ * baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lattice/occupancy.hpp"
+#include "route/astar.hpp"
+#include "route/greedy_finder.hpp"
+#include "route/interference.hpp"
+#include "route/stack_finder.hpp"
+
+namespace autobraid {
+namespace {
+
+const BlockedFn kFree = [](VertexId) { return false; };
+
+/** Assert an outcome is fully routed with pairwise-disjoint paths. */
+void
+expectDisjointComplete(const RoutingOutcome &outcome,
+                       const std::vector<CxTask> &tasks,
+                       const Grid &grid)
+{
+    EXPECT_EQ(outcome.routed.size(), tasks.size());
+    EXPECT_DOUBLE_EQ(outcome.ratio, 1.0);
+    std::set<VertexId> used;
+    for (const auto &[idx, path] : outcome.routed) {
+        EXPECT_EQ(path.validate(grid, tasks[idx].a, tasks[idx].b), "");
+        for (VertexId v : path.vertices)
+            EXPECT_TRUE(used.insert(v).second)
+                << "vertex " << v << " used twice";
+    }
+}
+
+TEST(Path, ValidateAcceptsGoodPath)
+{
+    Grid g(3, 3);
+    Path p;
+    p.vertices = {g.vid({0, 1}), g.vid({0, 2}), g.vid({1, 2})};
+    EXPECT_EQ(p.validate(g, Cell{0, 0}, Cell{1, 2}), "");
+}
+
+TEST(Path, ValidateRejectsBadPaths)
+{
+    Grid g(3, 3);
+    Path empty;
+    EXPECT_NE(empty.validate(g, Cell{0, 0}, Cell{1, 1}), "");
+
+    Path teleport;
+    teleport.vertices = {g.vid({0, 0}), g.vid({2, 2})};
+    EXPECT_NE(teleport.validate(g, Cell{0, 0}, Cell{1, 1}), "");
+
+    Path revisit;
+    revisit.vertices = {g.vid({0, 0}), g.vid({0, 1}), g.vid({0, 0})};
+    EXPECT_NE(revisit.validate(g, Cell{0, 0}, Cell{0, 0}), "");
+
+    Path wrong_end;
+    wrong_end.vertices = {g.vid({0, 0}), g.vid({0, 1})};
+    EXPECT_NE(wrong_end.validate(g, Cell{0, 0}, Cell{2, 2}), "");
+}
+
+TEST(AStar, ShortestPathLength)
+{
+    Grid g(4, 4);
+    AStarRouter router(g);
+    // Adjacent tiles share two corners: a single shared vertex works.
+    auto p = router.route(Cell{0, 0}, Cell{0, 1}, kFree);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 1u);
+
+    // Diagonal tiles share one corner.
+    p = router.route(Cell{0, 0}, Cell{1, 1}, kFree);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 1u);
+
+    // Distance-2 tiles: corner-to-corner needs 2 vertices.
+    p = router.route(Cell{0, 0}, Cell{0, 2}, kFree);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 2u);
+}
+
+TEST(AStar, PathIsValid)
+{
+    Grid g(6, 6);
+    AStarRouter router(g);
+    const auto p = router.route(Cell{0, 0}, Cell{5, 5}, kFree);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->validate(g, Cell{0, 0}, Cell{5, 5}), "");
+}
+
+TEST(AStar, AvoidsBlockedVertices)
+{
+    Grid g(3, 3);
+    AStarRouter router(g);
+    // Block the middle column of vertices except the boundary rows.
+    auto blocked = [&g](VertexId v) {
+        const Vertex vx = g.vertex(v);
+        return vx.c == 2 && vx.r > 0 && vx.r < 3;
+    };
+    const auto p = router.route(Cell{1, 0}, Cell{1, 2}, blocked);
+    ASSERT_TRUE(p.has_value());
+    for (VertexId v : p->vertices)
+        EXPECT_FALSE(blocked(v));
+}
+
+TEST(AStar, ReportsUnroutable)
+{
+    Grid g(3, 3);
+    AStarRouter router(g);
+    // Wall of blocked vertices across the whole grid.
+    auto blocked = [&g](VertexId v) { return g.vertex(v).c == 2; };
+    EXPECT_FALSE(
+        router.route(Cell{0, 0}, Cell{0, 2}, blocked).has_value());
+}
+
+TEST(AStar, ConfinementToBBox)
+{
+    Grid g(6, 6);
+    AStarRouter router(g);
+    const BBox box = BBox::ofCells(Cell{2, 2}, Cell{3, 3});
+    const auto p =
+        router.route(Cell{2, 2}, Cell{3, 3}, kFree, &box);
+    ASSERT_TRUE(p.has_value());
+    for (VertexId v : p->vertices)
+        EXPECT_TRUE(box.contains(g.vertex(v)));
+}
+
+TEST(AStar, CornerMasksRestrictEndpoints)
+{
+    Grid g(4, 4);
+    AStarRouter router(g);
+    const auto p = router.route(Cell{0, 0}, Cell{2, 2}, kFree, nullptr,
+                                AStarRouter::kFixedCorner,
+                                AStarRouter::kFixedCorner);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->front(), g.vid(Vertex{0, 0}));
+    EXPECT_EQ(p->back(), g.vid(Vertex{2, 2}));
+    // Fixed-corner paths are longer than all-corner paths here.
+    const auto free_p = router.route(Cell{0, 0}, Cell{2, 2}, kFree);
+    EXPECT_LT(free_p->length(), p->length());
+    EXPECT_THROW(router.route(Cell{0, 0}, Cell{1, 1}, kFree, nullptr,
+                              0, AStarRouter::kAllCorners),
+                 InternalError);
+}
+
+TEST(AStar, SameCellRejected)
+{
+    Grid g(3, 3);
+    AStarRouter router(g);
+    EXPECT_THROW(router.route(Cell{1, 1}, Cell{1, 1}, kFree),
+                 InternalError);
+}
+
+TEST(AStar, RepeatedQueriesIndependent)
+{
+    Grid g(5, 5);
+    AStarRouter router(g);
+    for (int i = 0; i < 50; ++i) {
+        const auto p = router.route(Cell{0, 0}, Cell{4, 4}, kFree);
+        ASSERT_TRUE(p.has_value());
+        // Closest corners (1,1) and (4,4): 6 steps -> 7 vertices.
+        EXPECT_EQ(p->length(), 7u);
+    }
+}
+
+TEST(Interference, GraphConstruction)
+{
+    // Two overlapping gates and one far away.
+    std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{0, 0}, Cell{2, 2}),
+        CxTask::make(1, Cell{1, 1}, Cell{3, 3}),
+        CxTask::make(2, Cell{7, 7}, Cell{8, 8}),
+    };
+    InterferenceGraph ig(tasks);
+    EXPECT_EQ(ig.size(), 3u);
+    EXPECT_EQ(ig.degree(0), 1);
+    EXPECT_EQ(ig.degree(1), 1);
+    EXPECT_EQ(ig.degree(2), 0);
+    EXPECT_EQ(ig.maxDegree(), 1);
+}
+
+TEST(Interference, RemovalUpdatesDegrees)
+{
+    // Star: task 0 intersects all others.
+    std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{0, 0}, Cell{9, 9}),
+        CxTask::make(1, Cell{1, 1}, Cell{2, 2}),
+        CxTask::make(2, Cell{5, 5}, Cell{6, 6}),
+        CxTask::make(3, Cell{8, 8}, Cell{9, 9}),
+    };
+    InterferenceGraph ig(tasks);
+    EXPECT_EQ(ig.degree(0), 3);
+    EXPECT_EQ(ig.maxDegreeNodes(), std::vector<size_t>{0});
+    ig.remove(0);
+    EXPECT_EQ(ig.size(), 3u);
+    EXPECT_TRUE(ig.removed(0));
+    EXPECT_EQ(ig.maxDegree(), 0);
+    EXPECT_EQ(ig.activeNodes(), (std::vector<size_t>{1, 2, 3}));
+    EXPECT_THROW(ig.remove(0), InternalError);
+}
+
+TEST(StackFinder, EmptyAndSingle)
+{
+    Grid g(4, 4);
+    StackPathFinder finder(g);
+    const auto empty = finder.findPaths({}, kFree);
+    EXPECT_TRUE(empty.routed.empty());
+    EXPECT_DOUBLE_EQ(empty.ratio, 1.0);
+
+    std::vector<CxTask> one{CxTask::make(0, Cell{0, 0}, Cell{3, 3})};
+    expectDisjointComplete(finder.findPaths(one, kFree), one, g);
+}
+
+TEST(StackFinder, Fig8FiveGatesAllRoute)
+{
+    // Paper Fig. 8: five CX gates whose greedy order fails but a good
+    // order routes all. Recreate the geometry: a wide lattice with
+    // nested/crossing pairs.
+    Grid g(6, 6);
+    std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{2, 0}, Cell{2, 5}), // A: long horizontal
+        CxTask::make(1, Cell{0, 1}, Cell{1, 1}), // B
+        CxTask::make(2, Cell{1, 2}, Cell{3, 2}), // C crosses A's line
+        CxTask::make(3, Cell{1, 4}, Cell{3, 4}), // D crosses A's line
+        CxTask::make(4, Cell{4, 3}, Cell{5, 3}), // E
+    };
+    StackPathFinder finder(g);
+    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+}
+
+TEST(StackFinder, Fig14SevenGateLlgAllRoute)
+{
+    // Paper Fig. 14: one LLG of size 7 fully scheduled by the stack
+    // finder. Seven mutually overlapping gates on an 8x8 grid.
+    Grid g(8, 8);
+    std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{0, 0}, Cell{7, 7}),
+        CxTask::make(1, Cell{0, 7}, Cell{7, 0}),
+        CxTask::make(2, Cell{1, 1}, Cell{6, 6}),
+        CxTask::make(3, Cell{1, 6}, Cell{6, 1}),
+        CxTask::make(4, Cell{2, 2}, Cell{5, 5}),
+        CxTask::make(5, Cell{2, 5}, Cell{5, 2}),
+        CxTask::make(6, Cell{3, 3}, Cell{4, 4}),
+    };
+    StackPathFinder finder(g);
+    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+}
+
+TEST(StackFinder, RespectsExternalBlocking)
+{
+    Grid g(3, 3);
+    StackPathFinder finder(g);
+    std::vector<CxTask> tasks{CxTask::make(0, Cell{0, 0}, Cell{0, 2})};
+    // Block everything: no route possible.
+    const auto outcome =
+        finder.findPaths(tasks, [](VertexId) { return true; });
+    EXPECT_TRUE(outcome.routed.empty());
+    EXPECT_EQ(outcome.failed.size(), 1u);
+    EXPECT_DOUBLE_EQ(outcome.ratio, 0.0);
+}
+
+TEST(StackFinder, NestedGatesAllRoute)
+{
+    // Theorem 2 scenario: strictly nested gates.
+    Grid g(8, 8);
+    std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{3, 3}, Cell{4, 4}),
+        CxTask::make(1, Cell{2, 2}, Cell{5, 5}),
+        CxTask::make(2, Cell{1, 1}, Cell{6, 6}),
+        CxTask::make(3, Cell{0, 0}, Cell{7, 7}),
+    };
+    StackPathFinder finder(g);
+    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+}
+
+TEST(StackFinder, ManyParallelNeighbours)
+{
+    // Disjoint neighbour pairs always all route (used by the Maslov
+    // network phases).
+    Grid g(6, 6);
+    std::vector<CxTask> tasks;
+    for (int r = 0; r < 6; ++r)
+        for (int c = 0; c + 1 < 6; c += 2)
+            tasks.push_back(CxTask::make(tasks.size(), Cell{r, c},
+                                         Cell{r, c + 1}));
+    StackPathFinder finder(g);
+    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+}
+
+TEST(GreedyFinder, DistanceOrderRoutesShortFirst)
+{
+    Grid g(6, 6);
+    std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{0, 0}, Cell{5, 5}), // long
+        CxTask::make(1, Cell{2, 2}, Cell{2, 3}), // short
+    };
+    GreedyPathFinder finder(g, GreedyOrder::Distance);
+    const auto outcome = finder.findPaths(tasks, kFree);
+    ASSERT_EQ(outcome.routed.size(), 2u);
+    // Short pair routed first.
+    EXPECT_EQ(outcome.routed[0].first, 1u);
+}
+
+TEST(GreedyFinder, FixedCornerConflictsMore)
+{
+    // Two gates whose fixed (NW) corners coincide: only one can route
+    // in fixed-corner mode; both route in all-corner mode.
+    Grid g(4, 4);
+    std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{1, 1}, Cell{0, 0}),
+        CxTask::make(1, Cell{1, 0}, Cell{0, 1}),
+    };
+    GreedyPathFinder fixed(g, GreedyOrder::Distance, false);
+    GreedyPathFinder free_corners(g, GreedyOrder::Distance, true);
+    const auto fixed_out = fixed.findPaths(tasks, kFree);
+    const auto free_out = free_corners.findPaths(tasks, kFree);
+    EXPECT_EQ(free_out.routed.size(), 2u);
+    EXPECT_LE(fixed_out.routed.size(), free_out.routed.size());
+}
+
+TEST(GreedyFinder, Names)
+{
+    Grid g(2, 2);
+    EXPECT_STREQ(GreedyPathFinder(g, GreedyOrder::Distance).name(),
+                 "greedy-distance");
+    EXPECT_STREQ(GreedyPathFinder(g, GreedyOrder::Program).name(),
+                 "greedy-program");
+    EXPECT_STREQ(GreedyPathFinder(g, GreedyOrder::Largest).name(),
+                 "greedy-largest");
+    EXPECT_STREQ(StackPathFinder(g).name(), "stack");
+}
+
+TEST(GreedyFinder, OrderMattersOnCongestedLayer)
+{
+    // Largest-first blocks the lattice more than the stack finder on a
+    // congested layer: the stack finder should never route fewer.
+    Grid g(5, 5);
+    std::vector<CxTask> tasks;
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i) {
+        Cell a{rng.intIn(0, 4), rng.intIn(0, 4)};
+        Cell b{rng.intIn(0, 4), rng.intIn(0, 4)};
+        if (a == b)
+            b = Cell{(a.r + 1) % 5, a.c};
+        tasks.push_back(CxTask::make(tasks.size(), a, b));
+    }
+    StackPathFinder stack(g);
+    GreedyPathFinder largest(g, GreedyOrder::Largest, true);
+    const auto s = stack.findPaths(tasks, kFree);
+    const auto l = largest.findPaths(tasks, kFree);
+    EXPECT_GE(s.routed.size(), l.routed.size());
+}
+
+} // namespace
+} // namespace autobraid

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * autobraid — command-line braid compiler.
+ *
+ * Compiles OpenQASM 2.0 files or built-in benchmark specs into braid
+ * schedules and reports the metrics the paper evaluates.
+ *
+ *   autobraid_cli [options] <spec-or-file>...
+ *
+ *     --policy=baseline|sp|full   scheduling policy (default full)
+ *     --distance=D                code distance (default 33)
+ *     --p=F                       layout-optimizer trigger (default 0.3)
+ *     --seed=S                    placement seed
+ *     --no-maslov                 disable the swap-network mode
+ *     --defects=N                 inject N random dead vertices
+ *     --compare                   run all three policies
+ *     --sweep-p                   run the Fig. 18 style p sweep
+ *     --json                      emit a JSON report (no trace)
+ *     --json-trace                emit a JSON report with full trace
+ *     --draw                      ASCII placement + braid activity
+ *     --list                      list benchmark spec families
+ *
+ * Arguments containing '.' or '/' are treated as QASM paths; anything
+ * else goes through the benchmark registry ("qft:100", "im:500:3",
+ * "revlib:urf2_277", ...).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "circuit/stats.hpp"
+#include "common/error.hpp"
+#include "gen/registry.hpp"
+#include "place/initial.hpp"
+#include "qasm/elaborator.hpp"
+#include "sched/pipeline.hpp"
+#include "viz/ascii.hpp"
+#include "viz/json.hpp"
+
+using namespace autobraid;
+
+namespace {
+
+struct CliOptions
+{
+    CompileOptions compile;
+    bool compare = false;
+    bool sweep_p = false;
+    bool json = false;
+    bool json_trace = false;
+    bool draw = false;
+    bool stats = false;
+    int defects = 0;
+    std::vector<std::string> inputs;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: autobraid_cli [options] <spec-or-file>...\n"
+        "  --policy=baseline|sp|full  --distance=D  --p=F  --seed=S\n"
+        "  --no-maslov  --defects=N  --teleport=HOLD  --compare\n"
+        "  --sweep-p  --json  --json-trace  --draw  --stats  --list\n");
+    std::exit(code);
+}
+
+bool
+matchValue(const char *arg, const char *key, std::string &value)
+{
+    const size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) != 0 || arg[len] != '=')
+        return false;
+    value = arg + len + 1;
+    return true;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::string value;
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(0);
+        } else if (std::strcmp(arg, "--list") == 0) {
+            std::printf("benchmark spec examples:\n");
+            for (const std::string &spec : gen::exampleSpecs())
+                std::printf("  %s\n", spec.c_str());
+            std::exit(0);
+        } else if (matchValue(arg, "--policy", value)) {
+            if (value == "baseline")
+                opts.compile.policy = SchedulerPolicy::Baseline;
+            else if (value == "sp")
+                opts.compile.policy = SchedulerPolicy::AutobraidSP;
+            else if (value == "full")
+                opts.compile.policy = SchedulerPolicy::AutobraidFull;
+            else
+                usage(2);
+        } else if (matchValue(arg, "--distance", value)) {
+            opts.compile.cost.distance = std::stoi(value);
+        } else if (matchValue(arg, "--p", value)) {
+            opts.compile.p_threshold = std::stod(value);
+        } else if (matchValue(arg, "--seed", value)) {
+            opts.compile.seed =
+                static_cast<uint64_t>(std::stoull(value));
+        } else if (matchValue(arg, "--defects", value)) {
+            opts.defects = std::stoi(value);
+        } else if (matchValue(arg, "--teleport", value)) {
+            opts.compile.channel_hold_cycles =
+                static_cast<Cycles>(std::stoull(value));
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            opts.stats = true;
+        } else if (std::strcmp(arg, "--no-maslov") == 0) {
+            opts.compile.allow_maslov = false;
+        } else if (std::strcmp(arg, "--compare") == 0) {
+            opts.compare = true;
+        } else if (std::strcmp(arg, "--sweep-p") == 0) {
+            opts.sweep_p = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            opts.json = true;
+        } else if (std::strcmp(arg, "--json-trace") == 0) {
+            opts.json = opts.json_trace = true;
+        } else if (std::strcmp(arg, "--draw") == 0) {
+            opts.draw = true;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage(2);
+        } else {
+            opts.inputs.emplace_back(arg);
+        }
+    }
+    if (opts.inputs.empty())
+        usage(2);
+    return opts;
+}
+
+Circuit
+loadInput(const std::string &input)
+{
+    if (input.find('.') != std::string::npos &&
+        input.find(".qasm") != std::string::npos)
+        return qasm::loadCircuit(input);
+    if (input.find('/') != std::string::npos)
+        return qasm::loadCircuit(input);
+    return gen::make(input);
+}
+
+void
+printHuman(const CompileReport &report, const CostModel &cost)
+{
+    std::printf("%-12s %-15s qubits=%d gates=%zu grid=%dx%d\n",
+                report.circuit_name.c_str(),
+                policyName(report.policy), report.num_qubits,
+                report.num_gates, report.grid_side,
+                report.grid_side);
+    std::printf("  CP        %12.0f us\n", report.cpMicros(cost));
+    std::printf("  makespan  %12.0f us  (%.2fx CP)%s\n",
+                report.micros(cost), report.cpRatio(),
+                report.used_maslov ? "  [maslov]" : "");
+    std::printf("  braids=%zu swaps=%zu failures=%zu util "
+                "peak=%.0f%% avg=%.0f%% compile=%.3fs\n",
+                report.result.braids_routed,
+                report.result.swaps_inserted,
+                report.result.routing_failures,
+                100 * report.result.peak_utilization,
+                100 * report.result.avg_utilization,
+                report.total_seconds);
+}
+
+int
+runOne(const CliOptions &opts, const std::string &input)
+{
+    Circuit circuit = loadInput(input);
+    if (opts.stats)
+        std::printf("%s\n%s",
+                    circuit.name().c_str(),
+                    analyzeCircuit(circuit).toString().c_str());
+    CompileOptions compile = opts.compile;
+    compile.record_trace = opts.json_trace || opts.draw;
+
+    if (opts.defects > 0) {
+        const Grid grid = Grid::forQubits(circuit.numQubits());
+        Rng rng(compile.seed ^ 0xdefecu);
+        compile.dead_vertices =
+            DefectMap::random(grid, opts.defects, rng)
+                .deadVertices();
+        std::printf("injected %zu lattice defects\n",
+                    compile.dead_vertices.size());
+    }
+
+    if (opts.sweep_p) {
+        std::printf("%-10s %-8s %-12s %-8s\n", "p", "time(us)",
+                    "normalized", "swaps");
+        double p0 = 0;
+        for (const auto &[p, rep] :
+             sweepPThreshold(circuit, compile)) {
+            const double us = rep.micros(compile.cost);
+            if (p == 0.0)
+                p0 = us;
+            std::printf("%-10.2f %-8.0f %-12.3f %-8zu\n", p, us,
+                        us / p0, rep.result.swaps_inserted);
+        }
+        return 0;
+    }
+
+    std::vector<SchedulerPolicy> policies{compile.policy};
+    if (opts.compare)
+        policies = {SchedulerPolicy::Baseline,
+                    SchedulerPolicy::AutobraidSP,
+                    SchedulerPolicy::AutobraidFull};
+
+    for (SchedulerPolicy policy : policies) {
+        CompileOptions o = compile;
+        o.policy = policy;
+        const CompileReport report = compilePipeline(circuit, o);
+        if (opts.json) {
+            std::printf("%s\n",
+                        viz::reportToJson(report, o.cost,
+                                          opts.json_trace)
+                            .c_str());
+        } else {
+            printHuman(report, o.cost);
+        }
+        if (opts.draw) {
+            const Grid grid = Grid::forQubits(circuit.numQubits());
+            Rng rng(o.seed);
+            const Placement placement = initialPlacement(
+                circuit, grid, rng,
+                o.schedulerConfig().placementFor(policy));
+            std::printf("\ninitial placement:\n%s\n",
+                        viz::renderPlacement(grid, placement)
+                            .c_str());
+            std::printf("%s\n",
+                        viz::renderActivity(report.result).c_str());
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = parseArgs(argc, argv);
+    for (const std::string &input : opts.inputs) {
+        try {
+            const int rc = runOne(opts, input);
+            if (rc != 0)
+                return rc;
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}
