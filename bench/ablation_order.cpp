@@ -128,7 +128,7 @@ placementAblation()
             opt.placement.use_partitioner = use_part;
             opt.placement.use_annealer = use_anneal;
             opt.placement.use_linear_special = use_anneal;
-            us[i++] = compilePipeline(circuit, opt).micros(opt.cost);
+            us[i++] = compileCircuit(circuit, opt).micros(opt.cost);
         }
         table.addRow({spec, strformat("%.0f", us[0]),
                       strformat("%.0f", us[1]),
@@ -157,9 +157,9 @@ dynamicAblation()
         no_maslov.allow_maslov = false;
         CompileOptions full;
         full.policy = SchedulerPolicy::AutobraidFull;
-        const auto rs = compilePipeline(circuit, sp);
-        const auto rn = compilePipeline(circuit, no_maslov);
-        const auto rf = compilePipeline(circuit, full);
+        const auto rs = compileCircuit(circuit, sp);
+        const auto rn = compileCircuit(circuit, no_maslov);
+        const auto rf = compileCircuit(circuit, full);
         table.addRow({std::to_string(n),
                       strformat("%.0f", rs.micros(sp.cost)),
                       strformat("%.0f", rn.micros(no_maslov.cost)),
@@ -187,7 +187,7 @@ baselineOrderAblation()
             opt.policy = SchedulerPolicy::Baseline;
             opt.baseline_order = order;
             row.push_back(strformat(
-                "%.0f", compilePipeline(circuit, opt)
+                "%.0f", compileCircuit(circuit, opt)
                             .micros(opt.cost)));
         }
         table.addRow(std::move(row));
@@ -212,7 +212,7 @@ teleportAblation()
             CompileOptions opt;
             opt.policy = policy;
             opt.channel_hold_cycles = hold;
-            return compilePipeline(circuit, opt).micros(opt.cost);
+            return compileCircuit(circuit, opt).micros(opt.cost);
         };
         const double bg = run(SchedulerPolicy::Baseline, 0);
         const double ba = run(SchedulerPolicy::AutobraidFull, 0);

@@ -19,7 +19,7 @@
 #include "common/text.hpp"
 #include "gen/registry.hpp"
 #include "lattice/surface_code.hpp"
-#include "sched/pipeline.hpp"
+#include "compiler/driver.hpp"
 
 namespace autobraid {
 namespace bench {

@@ -44,7 +44,7 @@ main()
                 opt.policy = policy;
                 opt.cost = cost;
                 const CompileReport rep =
-                    compilePipeline(circuit, opt);
+                    compileCircuit(circuit, opt);
                 seconds[i++] = cost.seconds(rep.result.makespan);
                 cp_s = cost.seconds(rep.critical_path);
                 if (policy == SchedulerPolicy::AutobraidFull)

@@ -34,12 +34,12 @@ main()
             CompileOptions base;
             base.policy = SchedulerPolicy::Baseline;
             base.cost = cost;
-            const CompileReport rb = compilePipeline(circuit, base);
+            const CompileReport rb = compileCircuit(circuit, base);
 
             CompileOptions full;
             full.policy = SchedulerPolicy::AutobraidFull;
             full.cost = cost;
-            const CompileReport rf = compilePipeline(circuit, full);
+            const CompileReport rf = compileCircuit(circuit, full);
 
             best_base =
                 std::max(best_base, rb.result.avg_utilization);

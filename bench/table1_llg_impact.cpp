@@ -83,7 +83,7 @@ main()
             CompileOptions opt;
             opt.policy = SchedulerPolicy::AutobraidSP;
             opt.placement = cfg;
-            return compilePipeline(circuit, opt);
+            return compileCircuit(circuit, opt);
         };
         const CompileReport rb = run(before_cfg);
         const CompileReport ra = run(after_cfg);

@@ -38,11 +38,11 @@ main()
 
         CompileOptions base;
         base.policy = SchedulerPolicy::Baseline;
-        const CompileReport rb = compilePipeline(circuit, base);
+        const CompileReport rb = compileCircuit(circuit, base);
 
         CompileOptions full;
         full.policy = SchedulerPolicy::AutobraidFull;
-        const CompileReport rf = compilePipeline(circuit, full);
+        const CompileReport rf = compileCircuit(circuit, full);
 
         const double b_us = rb.micros(base.cost);
         const double f_us = rf.micros(full.cost);

@@ -17,7 +17,7 @@
 
 #include "gen/registry.hpp"
 #include "lattice/defects.hpp"
-#include "sched/pipeline.hpp"
+#include "compiler/driver.hpp"
 #include "viz/ascii.hpp"
 
 using namespace autobraid;
@@ -44,7 +44,7 @@ main(int argc, char **argv)
         CompileOptions opt;
         opt.policy = SchedulerPolicy::AutobraidFull;
         opt.dead_vertices = map.deadVertices();
-        const CompileReport report = compilePipeline(circuit, opt);
+        const CompileReport report = compileCircuit(circuit, opt);
         const double us = report.micros(opt.cost);
         if (defects == 0)
             clean_us = us;

@@ -15,7 +15,7 @@
 
 #include "gen/ising.hpp"
 #include "lattice/surface_code.hpp"
-#include "sched/pipeline.hpp"
+#include "compiler/driver.hpp"
 
 using namespace autobraid;
 
@@ -39,8 +39,8 @@ main()
         full.policy = SchedulerPolicy::AutobraidFull;
         base.cost.distance = full.cost.distance = d;
 
-        const CompileReport rb = compilePipeline(circuit, base);
-        const CompileReport rf = compilePipeline(circuit, full);
+        const CompileReport rb = compileCircuit(circuit, base);
+        const CompileReport rf = compileCircuit(circuit, full);
         const long phys = params.physicalQubits(
             rf.grid_side * rf.grid_side, d);
 

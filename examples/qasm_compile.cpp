@@ -12,7 +12,7 @@
 
 #include "common/error.hpp"
 #include "qasm/elaborator.hpp"
-#include "sched/pipeline.hpp"
+#include "compiler/driver.hpp"
 
 using namespace autobraid;
 
@@ -30,7 +30,7 @@ compileFile(const std::string &path)
          {SchedulerPolicy::Baseline, SchedulerPolicy::AutobraidFull}) {
         CompileOptions options;
         options.policy = policy;
-        const CompileReport report = compilePipeline(circuit, options);
+        const CompileReport report = compileCircuit(circuit, options);
         std::printf("  %-15s makespan=%8.0f us  (CP %8.0f us, "
                     "%.2fx)  compile=%.3fs\n",
                     policyName(policy), report.micros(options.cost),

@@ -13,7 +13,7 @@
 #include <cstdlib>
 
 #include "gen/qft.hpp"
-#include "sched/pipeline.hpp"
+#include "compiler/driver.hpp"
 
 using namespace autobraid;
 
@@ -35,7 +35,7 @@ main(int argc, char **argv)
             CompileOptions options;
             options.policy = policy;
             const CompileReport report =
-                compilePipeline(circuit, options);
+                compileCircuit(circuit, options);
             micros[i++] = report.micros(options.cost);
             cp = report.cpMicros(options.cost);
         }

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "sched/pipeline.hpp"
+#include "compiler/driver.hpp"
 
 using namespace autobraid;
 
@@ -38,7 +38,7 @@ main()
           SchedulerPolicy::AutobraidFull}) {
         CompileOptions options;
         options.policy = policy;
-        const CompileReport report = compilePipeline(circuit, options);
+        const CompileReport report = compileCircuit(circuit, options);
         std::printf("%-15s grid=%dx%d  CP=%7.0f us  makespan=%7.0f us "
                     "(%.2fx CP)  braids=%zu  peak util=%.0f%%\n",
                     policyName(policy), report.grid_side,
@@ -46,6 +46,14 @@ main()
                     report.micros(options.cost), report.cpRatio(),
                     report.result.braids_routed,
                     100.0 * report.result.peak_utilization);
+        // The compilation ran as an instrumented pass pipeline; the
+        // report breaks the wall time down per pass.
+        if (policy == SchedulerPolicy::AutobraidFull) {
+            std::printf("  passes:");
+            for (const PassTiming &t : report.pass_timings)
+                std::printf(" %s=%.4fs", t.pass.c_str(), t.seconds);
+            std::printf("\n");
+        }
     }
 
     std::printf("\nSurface-code context (paper eq. 1):\n");

@@ -46,10 +46,14 @@
 // Placement.
 #include "place/initial.hpp"
 
-// Scheduling, pipeline, validation.
-#include "sched/pipeline.hpp"
+// Scheduling and validation.
 #include "sched/scheduler.hpp"
 #include "sched/validator.hpp"
+
+// Compiler driver: pass manager, standard passes, batch front-end.
+#include "compiler/batch.hpp"
+#include "compiler/driver.hpp"
+#include "compiler/passes.hpp"
 
 // Visualization / export.
 #include "viz/ascii.hpp"

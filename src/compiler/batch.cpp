@@ -1,0 +1,105 @@
+#include "compiler/batch.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+#include "gen/registry.hpp"
+
+namespace autobraid {
+
+uint64_t
+deriveJobSeed(uint64_t base_seed, size_t job_index)
+{
+    // splitmix64: a full-period mixer, so neighbouring job indices get
+    // statistically independent placement seeds.
+    uint64_t z = base_seed ^
+                 (static_cast<uint64_t>(job_index) +
+                  0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+BatchCompiler::BatchCompiler(BatchOptions options)
+    : options_(options)
+{
+    if (options_.threads < 0)
+        fatal("BatchCompiler: thread count must be >= 0, got %d",
+              options_.threads);
+}
+
+size_t
+BatchCompiler::add(Circuit circuit, CompileOptions options,
+                   std::string label)
+{
+    const size_t index = jobs_.size();
+    if (options_.derive_seeds)
+        options.seed = deriveJobSeed(options_.base_seed, index);
+    if (label.empty())
+        label = circuit.name();
+    jobs_.push_back(
+        BatchJob{std::move(label), std::move(circuit), options});
+    return index;
+}
+
+size_t
+BatchCompiler::addSpec(const std::string &spec, CompileOptions options)
+{
+    return add(gen::make(spec), options, spec);
+}
+
+int
+BatchCompiler::threadCount() const
+{
+    int threads = options_.threads;
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    return threads;
+}
+
+std::vector<BatchResult>
+BatchCompiler::compileAll()
+{
+    std::vector<BatchJob> jobs = std::move(jobs_);
+    jobs_.clear();
+
+    std::vector<BatchResult> results(jobs.size());
+    std::atomic<size_t> next{0};
+
+    auto worker = [&jobs, &results, &next]() {
+        for (;;) {
+            const size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            BatchResult &res = results[i];
+            res.label = jobs[i].label;
+            try {
+                res.report = compileCircuit(jobs[i].circuit,
+                                            jobs[i].options);
+                res.ok = true;
+            } catch (const std::exception &e) {
+                res.error = e.what();
+            }
+        }
+    };
+
+    const size_t pool = std::min(static_cast<size_t>(threadCount()),
+                                 jobs.size());
+    if (pool <= 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (size_t t = 0; t < pool; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    return results;
+}
+
+} // namespace autobraid

@@ -1,0 +1,38 @@
+#include "compiler/context.hpp"
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+
+namespace autobraid {
+
+CompileContext::CompileContext(const Circuit &circ,
+                               const CompileOptions &opts)
+    : circuit(&circ), options(opts), config(opts.schedulerConfig())
+{
+    report.circuit_name = circ.name();
+    report.policy = opts.policy;
+    report.num_qubits = circ.numQubits();
+    report.num_gates = circ.size();
+}
+
+void
+CompileContext::bump(const std::string &name, long delta)
+{
+    report.counters[name] += delta;
+}
+
+void
+CompileContext::note(std::string message)
+{
+    report.diagnostics.push_back(std::move(message));
+}
+
+void
+CompileContext::requireStage(bool cond, const char *pass,
+                             const char *what)
+{
+    if (!cond)
+        fatal("%s: pipeline ordering violated — %s", pass, what);
+}
+
+} // namespace autobraid

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared state threaded through a pass pipeline.
+ *
+ * A CompileContext owns everything one compilation accumulates: the
+ * input circuit and options, the derived scheduler configuration, and
+ * the artifacts each pass produces (grid, DAG-backed scheduler,
+ * placement, schedule, report). Passes communicate exclusively through
+ * the context; the PassManager adds wall-clock instrumentation around
+ * each Pass::run call.
+ */
+
+#ifndef AUTOBRAID_COMPILER_CONTEXT_HPP
+#define AUTOBRAID_COMPILER_CONTEXT_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "compiler/options.hpp"
+#include "compiler/report.hpp"
+#include "place/placement.hpp"
+#include "sched/scheduler.hpp"
+
+namespace autobraid {
+
+/** Mutable state of one compilation, shared by all passes. */
+struct CompileContext
+{
+    /** @p circuit must outlive the context. */
+    CompileContext(const Circuit &circuit,
+                   const CompileOptions &options);
+
+    const Circuit *circuit;      ///< input (never null)
+    CompileOptions options;      ///< validated option set
+    SchedulerConfig config;      ///< derived once from options
+
+    // Artifacts, in the order the standard pipeline produces them.
+    std::optional<Grid> grid;                  ///< analysis
+    std::unique_ptr<BraidScheduler> scheduler; ///< analysis (owns DAG)
+    std::optional<Placement> placement;        ///< placement
+    CompileReport report;                      ///< filled throughout
+
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void bump(const std::string &name, long delta = 1);
+
+    /** Record a diagnostic message in the report. */
+    void note(std::string message);
+
+    /**
+     * Fail with a UserError naming @p pass when @p cond is false —
+     * the pass-ordering guard every pass uses for its preconditions
+     * (e.g. SchedulePass requires a placement).
+     */
+    static void requireStage(bool cond, const char *pass,
+                             const char *what);
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_CONTEXT_HPP

@@ -1,0 +1,59 @@
+#include "compiler/driver.hpp"
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+
+CompileReport
+runPassPipeline(const Circuit &circuit, const CompileOptions &options,
+                const PassManager &passes)
+{
+    options.validate(circuit);
+    CompileContext ctx(circuit, options);
+    passes.run(ctx);
+    return std::move(ctx.report);
+}
+
+CompileReport
+compileCircuit(const Circuit &circuit, const CompileOptions &options)
+{
+    return runPassPipeline(circuit, options,
+                           PassManager::standardPipeline());
+}
+
+CompileReport
+compilePipeline(const Circuit &circuit, const CompileOptions &options)
+{
+    return compileCircuit(circuit, options);
+}
+
+std::vector<std::pair<double, CompileReport>>
+sweepPThreshold(const Circuit &circuit, CompileOptions options,
+                const std::vector<double> &thresholds)
+{
+    std::vector<double> ps = thresholds;
+    if (ps.empty())
+        for (int i = 0; i <= 9; ++i)
+            ps.push_back(0.1 * i);
+    options.policy = SchedulerPolicy::AutobraidFull;
+    options.best_of_p0 = false; // expose each threshold's raw effect
+
+    std::vector<std::pair<double, CompileReport>> out;
+    out.reserve(ps.size());
+    for (double p : ps) {
+        CompileOptions o = options;
+        o.p_threshold = p;
+        out.emplace_back(p, compileCircuit(circuit, o));
+    }
+    return out;
+}
+
+long
+physicalQubits(const CompileReport &report,
+               const SurfaceCodeParams &params, int distance)
+{
+    return params.physicalQubits(report.grid_side * report.grid_side,
+                                 distance);
+}
+
+} // namespace autobraid

@@ -1,0 +1,44 @@
+#include "compiler/options.hpp"
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "lattice/geometry.hpp"
+
+namespace autobraid {
+
+SchedulerConfig
+CompileOptions::schedulerConfig() const
+{
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    cfg.cost = cost;
+    cfg.p_threshold = p_threshold;
+    cfg.allow_maslov = allow_maslov;
+    cfg.seed = seed;
+    cfg.record_trace = record_trace;
+    cfg.dead_vertices = dead_vertices;
+    cfg.baseline_order = baseline_order;
+    cfg.channel_hold_cycles = channel_hold_cycles;
+    cfg.placement = placement;
+    return cfg;
+}
+
+void
+CompileOptions::validate(const Circuit &circuit) const
+{
+    if (circuit.numQubits() <= 0)
+        fatal("cannot compile '%s': circuit has no qubits",
+              circuit.name().c_str());
+    if (p_threshold < 0.0 || p_threshold > 1.0)
+        fatal("p_threshold must lie in [0, 1], got %g", p_threshold);
+    if (cost.distance < 1)
+        fatal("code distance must be >= 1, got %d", cost.distance);
+    const Grid grid = Grid::forQubits(circuit.numQubits());
+    for (VertexId v : dead_vertices)
+        if (v < 0 || v >= grid.numVertices())
+            fatal("dead vertex %d outside the %dx%d grid "
+                  "(%d routing vertices)",
+                  v, grid.rows(), grid.cols(), grid.numVertices());
+}
+
+} // namespace autobraid

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * User-facing compilation options for the pass-manager driver.
+ *
+ * CompileOptions is the one knob surface shared by the CLI, the bench
+ * harness, the examples, and the BatchCompiler. It is validated once at
+ * the driver entry point (validate()) so that every pass downstream can
+ * assume a sane configuration.
+ */
+
+#ifndef AUTOBRAID_COMPILER_OPTIONS_HPP
+#define AUTOBRAID_COMPILER_OPTIONS_HPP
+
+#include <vector>
+
+#include "sched/policy.hpp"
+
+namespace autobraid {
+
+class Circuit;
+
+/** User-facing compilation options. */
+struct CompileOptions
+{
+    SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
+    CostModel cost;
+    double p_threshold = 0.3;    ///< layout-optimizer trigger ratio
+    bool allow_maslov = true;    ///< try the swap network on all-to-all
+    uint64_t seed = 2021;        ///< placement randomness
+    bool record_trace = false;   ///< keep a full TraceEntry log
+
+    /**
+     * AutobraidFull normally also evaluates the never-trigger (p = 0)
+     * schedule and keeps the better one, mirroring the paper's p-sweep.
+     * The Fig. 18 sensitivity bench disables this to expose the raw
+     * effect of each threshold.
+     */
+    bool best_of_p0 = true;
+
+    /** Permanently unusable routing vertices (lattice defects). */
+    std::vector<VertexId> dead_vertices;
+
+    /** Greedy ordering for the Baseline policy (ablations). */
+    GreedyOrder baseline_order = GreedyOrder::Distance;
+
+    /**
+     * Channel hold in cycles; 0 = braiding (full CX window), > 0 =
+     * teleportation-style early release (see SchedulerConfig).
+     */
+    Cycles channel_hold_cycles = 0;
+    InitialPlacementConfig placement;
+
+    /** Build the scheduler config for this option set. */
+    SchedulerConfig schedulerConfig() const;
+
+    /**
+     * Reject out-of-range option values for @p circuit with a UserError
+     * instead of silently proceeding: p_threshold outside [0, 1], dead
+     * vertices outside the circuit's grid, zero-qubit circuits, and a
+     * non-positive code distance. Called by the driver entry points
+     * (compileCircuit, runPassPipeline, BatchCompiler).
+     */
+    void validate(const Circuit &circuit) const;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_OPTIONS_HPP

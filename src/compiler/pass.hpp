@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Pass interface and a lambda adapter.
+ *
+ * A Pass is one reorderable stage of the compilation pipeline. Passes
+ * read and write only the CompileContext; the PassManager owns them,
+ * runs them in order, and records each one's wall time into the
+ * report. Custom passes (instrumentation probes, alternative placement
+ * stages, defect-aware rewrites) slot in via PassManager::insertBefore
+ * or insertAfter without touching the driver.
+ */
+
+#ifndef AUTOBRAID_COMPILER_PASS_HPP
+#define AUTOBRAID_COMPILER_PASS_HPP
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "compiler/context.hpp"
+
+namespace autobraid {
+
+/** One stage of the compilation pipeline. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name (anchor for insertion, key for timings). */
+    virtual const char *name() const = 0;
+
+    /** Execute the stage against @p ctx. */
+    virtual void run(CompileContext &ctx) = 0;
+};
+
+/** Adapter wrapping a callable as a Pass (custom instrumentation). */
+class LambdaPass final : public Pass
+{
+  public:
+    using Fn = std::function<void(CompileContext &)>;
+
+    LambdaPass(std::string name, Fn fn)
+        : name_(std::move(name)), fn_(std::move(fn))
+    {}
+
+    const char *name() const override { return name_.c_str(); }
+    void run(CompileContext &ctx) override { fn_(ctx); }
+
+  private:
+    std::string name_;
+    Fn fn_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_PASS_HPP

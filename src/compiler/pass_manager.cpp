@@ -1,0 +1,111 @@
+#include "compiler/pass_manager.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "compiler/passes.hpp"
+
+namespace autobraid {
+
+PassManager &
+PassManager::append(std::unique_ptr<Pass> pass)
+{
+    require(pass != nullptr, "PassManager::append: null pass");
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+size_t
+PassManager::indexOf(const std::string &anchor) const
+{
+    for (size_t i = 0; i < passes_.size(); ++i)
+        if (anchor == passes_[i]->name())
+            return i;
+    fatal("PassManager: no pass named '%s' in the pipeline",
+          anchor.c_str());
+}
+
+PassManager &
+PassManager::insertBefore(const std::string &anchor,
+                          std::unique_ptr<Pass> pass)
+{
+    require(pass != nullptr, "PassManager::insertBefore: null pass");
+    passes_.insert(passes_.begin() +
+                       static_cast<ptrdiff_t>(indexOf(anchor)),
+                   std::move(pass));
+    return *this;
+}
+
+PassManager &
+PassManager::insertAfter(const std::string &anchor,
+                         std::unique_ptr<Pass> pass)
+{
+    require(pass != nullptr, "PassManager::insertAfter: null pass");
+    passes_.insert(passes_.begin() +
+                       static_cast<ptrdiff_t>(indexOf(anchor) + 1),
+                   std::move(pass));
+    return *this;
+}
+
+bool
+PassManager::remove(const std::string &name)
+{
+    for (size_t i = 0; i < passes_.size(); ++i) {
+        if (name == passes_[i]->name()) {
+            passes_.erase(passes_.begin() +
+                          static_cast<ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const auto &pass : passes_)
+        names.emplace_back(pass->name());
+    return names;
+}
+
+void
+PassManager::run(CompileContext &ctx) const
+{
+    ctx.report.pass_timings.reserve(ctx.report.pass_timings.size() +
+                                    passes_.size());
+    for (const auto &pass : passes_) {
+        const auto start = std::chrono::steady_clock::now();
+        pass->run(ctx);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        ctx.report.pass_timings.push_back(
+            PassTiming{pass->name(), seconds});
+    }
+    // Aggregates are *derived* from the instrumented timings so they
+    // cannot drift from the per-pass sum.
+    double total = 0;
+    for (const PassTiming &t : ctx.report.pass_timings)
+        total += t.seconds;
+    ctx.report.total_seconds = total;
+    ctx.report.placement_seconds =
+        ctx.report.passSeconds("initial-placement");
+}
+
+PassManager
+PassManager::standardPipeline()
+{
+    PassManager pm;
+    pm.append(std::make_unique<ParallelismAnalysisPass>())
+        .append(std::make_unique<InitialPlacementPass>())
+        .append(std::make_unique<SchedulePass>())
+        .append(std::make_unique<MaslovFallbackPass>())
+        .append(std::make_unique<ValidatePass>())
+        .append(std::make_unique<ReportPass>());
+    return pm;
+}
+
+} // namespace autobraid

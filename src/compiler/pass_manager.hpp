@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PassManager: an ordered, instrumented pipeline of passes.
+ *
+ * The manager owns its passes, exposes insertion anchors so callers can
+ * slot custom passes mid-pipeline, and wraps each Pass::run with wall-
+ * clock instrumentation. After the last pass it derives the aggregate
+ * timing fields (placement_seconds, total_seconds) from the recorded
+ * per-pass timings — the single source of truth, so the aggregates can
+ * never drift from the instrumented sum.
+ */
+
+#ifndef AUTOBRAID_COMPILER_PASS_MANAGER_HPP
+#define AUTOBRAID_COMPILER_PASS_MANAGER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pass.hpp"
+
+namespace autobraid {
+
+/** Runs an ordered list of passes over a CompileContext. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+    PassManager(PassManager &&) = default;
+    PassManager &operator=(PassManager &&) = default;
+
+    /** Append @p pass to the end of the pipeline. */
+    PassManager &append(std::unique_ptr<Pass> pass);
+
+    /**
+     * Insert @p pass immediately before the first pass named
+     * @p anchor; raises UserError when no such pass exists.
+     */
+    PassManager &insertBefore(const std::string &anchor,
+                              std::unique_ptr<Pass> pass);
+
+    /** Insert @p pass immediately after the first @p anchor. */
+    PassManager &insertAfter(const std::string &anchor,
+                             std::unique_ptr<Pass> pass);
+
+    /** Remove the first pass named @p name; false when absent. */
+    bool remove(const std::string &name);
+
+    /** Pass names in execution order. */
+    std::vector<std::string> passNames() const;
+
+    size_t size() const { return passes_.size(); }
+
+    /**
+     * Run every pass in order against @p ctx, recording one PassTiming
+     * per pass and deriving the aggregate timing fields afterwards.
+     */
+    void run(CompileContext &ctx) const;
+
+    /**
+     * The standard AutoBraid pipeline (Fig. 10 + §3.3.2):
+     * parallelism-analysis, initial-placement, schedule,
+     * maslov-fallback, validate, report.
+     */
+    static PassManager standardPipeline();
+
+  private:
+    size_t indexOf(const std::string &anchor) const;
+
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_PASS_MANAGER_HPP

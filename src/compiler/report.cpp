@@ -1,0 +1,58 @@
+#include "compiler/report.hpp"
+
+#include "common/text.hpp"
+
+namespace autobraid {
+
+double
+CompileReport::passSeconds(const std::string &name) const
+{
+    double total = 0;
+    for (const PassTiming &t : pass_timings)
+        if (t.pass == name)
+            total += t.seconds;
+    return total;
+}
+
+double
+CompileReport::cpRatio() const
+{
+    if (critical_path == 0)
+        return 1.0;
+    return static_cast<double>(result.makespan) /
+           static_cast<double>(critical_path);
+}
+
+std::string
+CompileReport::metricsSummary() const
+{
+    std::string out;
+    out += strformat("circuit=%s policy=%s qubits=%d gates=%zu "
+                     "grid=%d\n",
+                     circuit_name.c_str(), policyName(policy),
+                     num_qubits, num_gates, grid_side);
+    out += strformat("cp=%llu makespan=%llu cp_ratio=%.9f\n",
+                     static_cast<unsigned long long>(critical_path),
+                     static_cast<unsigned long long>(result.makespan),
+                     cpRatio());
+    out += strformat("gates_scheduled=%zu braids=%zu swaps=%zu "
+                     "failures=%zu layout_invocations=%zu\n",
+                     result.gates_scheduled, result.braids_routed,
+                     result.swaps_inserted, result.routing_failures,
+                     result.layout_invocations);
+    out += strformat("dispatch_instants=%zu max_concurrent=%zu "
+                     "peak_util=%.9f avg_util=%.9f\n",
+                     result.dispatch_instants,
+                     result.max_concurrent_braids,
+                     result.peak_utilization, result.avg_utilization);
+    out += strformat("used_maslov=%d valid=%d trace=%zu\n",
+                     used_maslov ? 1 : 0, result.valid ? 1 : 0,
+                     result.trace.size());
+    for (const auto &[name, value] : counters)
+        out += strformat("counter.%s=%ld\n", name.c_str(), value);
+    for (const std::string &d : diagnostics)
+        out += "diagnostic: " + d + "\n";
+    return out;
+}
+
+} // namespace autobraid

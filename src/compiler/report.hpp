@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Compilation report: metrics, per-pass instrumentation, diagnostics.
+ *
+ * One CompileReport is produced per compiled circuit. Besides the
+ * schedule metrics the paper evaluates (critical path, makespan, swap
+ * counts, utilization), the report carries the pass manager's
+ * instrumentation: one PassTiming per executed pass and a deterministic
+ * counter map (routed/deferred CXs, SWAPs inserted, layout-optimizer
+ * triggers, ...). The aggregate timing fields (placement_seconds,
+ * total_seconds) are *derived* from the per-pass timings by the driver
+ * so they cannot drift from the instrumented sum.
+ */
+
+#ifndef AUTOBRAID_COMPILER_REPORT_HPP
+#define AUTOBRAID_COMPILER_REPORT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/metrics.hpp"
+#include "sched/policy.hpp"
+
+namespace autobraid {
+
+/** Wall-clock of one executed pass. */
+struct PassTiming
+{
+    std::string pass;    ///< Pass::name()
+    double seconds = 0;  ///< wall time of this pass
+};
+
+/** Result of one pipeline run. */
+struct CompileReport
+{
+    std::string circuit_name;
+    SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
+    int num_qubits = 0;
+    size_t num_gates = 0;
+    int grid_side = 0;
+    Cycles critical_path = 0;    ///< ideal latency (paper's "CP")
+    ScheduleResult result;
+    bool used_maslov = false;    ///< swap-network mode won
+
+    /** One entry per executed pass, in execution order. */
+    std::vector<PassTiming> pass_timings;
+
+    /**
+     * Deterministic pass counters (sorted by name): routed_cx,
+     * deferred_cx, swaps_inserted, layout_invocations, ... Counters
+     * never include wall-clock values, so two runs with the same seed
+     * produce byte-identical counter maps.
+     */
+    std::map<std::string, long> counters;
+
+    /** Validation/diagnostic messages accumulated by the passes. */
+    std::vector<std::string> diagnostics;
+
+    /** Derived: wall time of the initial-placement pass. */
+    double placement_seconds = 0;
+    /** Derived: sum of every executed pass's wall time. */
+    double total_seconds = 0;
+
+    /** Wall time of pass @p name (0 when it did not run). */
+    double passSeconds(const std::string &name) const;
+
+    /** Makespan in microseconds. */
+    double micros(const CostModel &cost) const
+    {
+        return result.micros(cost);
+    }
+
+    /** Critical path in microseconds. */
+    double cpMicros(const CostModel &cost) const
+    {
+        return cost.micros(critical_path);
+    }
+
+    /** Makespan / critical-path ratio (1.0 = ideal). */
+    double cpRatio() const;
+
+    /**
+     * Canonical, wall-clock-free rendering of every schedule metric and
+     * counter. Two compilations of the same circuit under the same
+     * options (and seed) yield byte-identical summaries regardless of
+     * machine load or thread count — the determinism oracle used by the
+     * BatchCompiler tests.
+     */
+    std::string metricsSummary() const;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_REPORT_HPP

@@ -1,109 +1,18 @@
 /**
  * @file
- * End-to-end compilation pipeline — the library's main entry point.
+ * Compatibility header for the pre-pass-manager pipeline API.
  *
- * compilePipeline() runs the three AutoBraid stages of Fig. 10:
- * communication-parallelism analysis (DAG + layers), initial placement,
- * and braid scheduling under the chosen policy; for AutobraidFull with
- * an all-to-all coupling pattern it additionally runs the Maslov
- * swap-network mode and keeps the better schedule. The report carries
- * everything the paper's tables and figures need: critical path,
- * makespan, utilization, swap counts, and compile time.
+ * The end-to-end pipeline now lives in src/compiler/ as a pass-manager
+ * driver (CompileContext + PassManager + the Fig. 10 stages as
+ * passes). CompileOptions, CompileReport, compilePipeline(),
+ * sweepPThreshold(), and physicalQubits() keep their exact historical
+ * names and semantics — include "compiler/driver.hpp" directly in new
+ * code, and see docs/pass-manager.md for the pass architecture.
  */
 
 #ifndef AUTOBRAID_SCHED_PIPELINE_HPP
 #define AUTOBRAID_SCHED_PIPELINE_HPP
 
-#include <string>
-#include <vector>
-
-#include "lattice/surface_code.hpp"
-#include "sched/scheduler.hpp"
-
-namespace autobraid {
-
-/** User-facing compilation options. */
-struct CompileOptions
-{
-    SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
-    CostModel cost;
-    double p_threshold = 0.3;    ///< layout-optimizer trigger ratio
-    bool allow_maslov = true;    ///< try the swap network on all-to-all
-    uint64_t seed = 2021;        ///< placement randomness
-    bool record_trace = false;   ///< keep a full TraceEntry log
-
-    /**
-     * AutobraidFull normally also evaluates the never-trigger (p = 0)
-     * schedule and keeps the better one, mirroring the paper's p-sweep.
-     * The Fig. 18 sensitivity bench disables this to expose the raw
-     * effect of each threshold.
-     */
-    bool best_of_p0 = true;
-
-    /** Permanently unusable routing vertices (lattice defects). */
-    std::vector<VertexId> dead_vertices;
-
-    /** Greedy ordering for the Baseline policy (ablations). */
-    GreedyOrder baseline_order = GreedyOrder::Distance;
-
-    /**
-     * Channel hold in cycles; 0 = braiding (full CX window), > 0 =
-     * teleportation-style early release (see SchedulerConfig).
-     */
-    Cycles channel_hold_cycles = 0;
-    InitialPlacementConfig placement;
-
-    /** Build the scheduler config for this option set. */
-    SchedulerConfig schedulerConfig() const;
-};
-
-/** Result of one pipeline run. */
-struct CompileReport
-{
-    std::string circuit_name;
-    SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
-    int num_qubits = 0;
-    size_t num_gates = 0;
-    int grid_side = 0;
-    Cycles critical_path = 0;    ///< ideal latency (paper's "CP")
-    ScheduleResult result;
-    bool used_maslov = false;    ///< swap-network mode won
-    double placement_seconds = 0;
-    double total_seconds = 0;    ///< placement + scheduling wall-clock
-
-    /** Makespan in microseconds. */
-    double micros(const CostModel &cost) const
-    {
-        return cost.micros(result.makespan);
-    }
-
-    /** Critical path in microseconds. */
-    double cpMicros(const CostModel &cost) const
-    {
-        return cost.micros(critical_path);
-    }
-
-    /** Makespan / critical-path ratio (1.0 = ideal). */
-    double cpRatio() const;
-};
-
-/** Compile @p circuit under @p options. */
-CompileReport compilePipeline(const Circuit &circuit,
-                              const CompileOptions &options);
-
-/**
- * The paper's p-sensitivity sweep: compile with AutobraidFull at each
- * threshold in @p thresholds (default 0%..90% in 10% steps) and return
- * one report per value (Fig. 18).
- */
-std::vector<std::pair<double, CompileReport>> sweepPThreshold(
-    const Circuit &circuit, CompileOptions options,
-    const std::vector<double> &thresholds = {});
-
-/** Physical-qubit budget of a report's grid at distance d. */
-long physicalQubits(const CompileReport &report,
-                    const SurfaceCodeParams &params, int distance);
-
-} // namespace autobraid
+#include "compiler/driver.hpp"
 
 #endif // AUTOBRAID_SCHED_PIPELINE_HPP

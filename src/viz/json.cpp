@@ -91,8 +91,29 @@ reportToJson(const CompileReport &report, const CostModel &cost,
                      report.result.avg_utilization);
     out += strformat("\"used_maslov\":%s,",
                      report.used_maslov ? "true" : "false");
-    out += strformat("\"compile_seconds\":%.6f",
+    out += strformat("\"placement_seconds\":%.6f,",
+                     report.placement_seconds);
+    out += strformat("\"compile_seconds\":%.6f,",
                      report.total_seconds);
+    out += "\"passes\":[";
+    for (size_t i = 0; i < report.pass_timings.size(); ++i) {
+        if (i)
+            out += ",";
+        out += strformat(
+            "{\"name\":\"%s\",\"seconds\":%.6f}",
+            jsonEscape(report.pass_timings[i].pass).c_str(),
+            report.pass_timings[i].seconds);
+    }
+    out += "],\"counters\":{";
+    bool first_counter = true;
+    for (const auto &[name, value] : report.counters) {
+        if (!first_counter)
+            out += ",";
+        first_counter = false;
+        out += strformat("\"%s\":%ld", jsonEscape(name).c_str(),
+                         value);
+    }
+    out += "}";
     if (include_trace && !report.result.trace.empty()) {
         out += ",\"trace\":";
         out += traceToJson(report.result);

@@ -11,7 +11,8 @@
 
 #include <string>
 
-#include "sched/pipeline.hpp"
+#include "compiler/report.hpp"
+#include "lattice/cost_model.hpp"
 
 namespace autobraid {
 namespace viz {

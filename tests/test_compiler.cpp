@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Pass-manager compiler driver tests: pipeline ordering invariants,
+ * custom pass injection, option validation at the driver entry point,
+ * per-pass instrumentation (timing fields derived from the pass
+ * timings), shim-vs-driver report equivalence across every generator
+ * family and the bundled QASM circuits, and BatchCompiler determinism
+ * across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compiler/batch.hpp"
+#include "compiler/driver.hpp"
+#include "compiler/passes.hpp"
+#include "gen/registry.hpp"
+#include "qasm/elaborator.hpp"
+
+namespace autobraid {
+namespace {
+
+Circuit
+smallCircuit()
+{
+    Circuit circuit(6, "pm-test");
+    circuit.h(0);
+    for (Qubit q = 1; q < 6; ++q)
+        circuit.cx(0, q);
+    for (Qubit q = 0; q < 6; ++q)
+        circuit.t(q);
+    return circuit;
+}
+
+TEST(PassManager, StandardPipelineOrder)
+{
+    const PassManager pm = PassManager::standardPipeline();
+    const std::vector<std::string> expected{
+        "parallelism-analysis", "initial-placement", "schedule",
+        "maslov-fallback",      "validate",          "report"};
+    EXPECT_EQ(pm.passNames(), expected);
+}
+
+TEST(PassManager, SchedulingBeforeAnalysisIsRejected)
+{
+    PassManager pm;
+    pm.append(std::make_unique<SchedulePass>());
+    EXPECT_THROW(runPassPipeline(smallCircuit(), {}, pm), UserError);
+}
+
+TEST(PassManager, PlacementBeforeAnalysisIsRejected)
+{
+    PassManager pm;
+    pm.append(std::make_unique<InitialPlacementPass>());
+    EXPECT_THROW(runPassPipeline(smallCircuit(), {}, pm), UserError);
+}
+
+TEST(PassManager, ScheduleWithoutPlacementIsRejected)
+{
+    PassManager pm;
+    pm.append(std::make_unique<ParallelismAnalysisPass>());
+    pm.append(std::make_unique<SchedulePass>());
+    EXPECT_THROW(runPassPipeline(smallCircuit(), {}, pm), UserError);
+}
+
+TEST(PassManager, UnknownInsertionAnchorIsRejected)
+{
+    PassManager pm = PassManager::standardPipeline();
+    EXPECT_THROW(pm.insertBefore("no-such-pass",
+                                 std::make_unique<ReportPass>()),
+                 UserError);
+}
+
+TEST(PassManager, CustomPassInjectedMidPipeline)
+{
+    PassManager pm = PassManager::standardPipeline();
+    pm.insertAfter(
+        "initial-placement",
+        std::make_unique<LambdaPass>(
+            "placement-probe", [](CompileContext &ctx) {
+                ASSERT_TRUE(ctx.placement.has_value());
+                ASSERT_TRUE(ctx.grid.has_value());
+                ctx.bump("probe_ran");
+                ctx.bump("probe_qubits", ctx.circuit->numQubits());
+            }));
+    const std::vector<std::string> names = pm.passNames();
+    ASSERT_EQ(names.size(), 7u);
+    EXPECT_EQ(names[1], "initial-placement");
+    EXPECT_EQ(names[2], "placement-probe");
+
+    const CompileReport report =
+        runPassPipeline(smallCircuit(), {}, pm);
+    EXPECT_EQ(report.counters.at("probe_ran"), 1);
+    EXPECT_EQ(report.counters.at("probe_qubits"), 6);
+    ASSERT_EQ(report.pass_timings.size(), 7u);
+    EXPECT_EQ(report.pass_timings[2].pass, "placement-probe");
+
+    // The probe must not perturb the schedule.
+    const CompileReport plain = compileCircuit(smallCircuit());
+    EXPECT_EQ(plain.result.makespan, report.result.makespan);
+}
+
+TEST(PassManager, RemoveDropsAPass)
+{
+    PassManager pm = PassManager::standardPipeline();
+    EXPECT_TRUE(pm.remove("validate"));
+    EXPECT_FALSE(pm.remove("validate"));
+    EXPECT_EQ(pm.size(), 5u);
+}
+
+TEST(Driver, TimingFieldsDeriveFromPassTimings)
+{
+    const CompileReport report = compileCircuit(smallCircuit());
+    ASSERT_FALSE(report.pass_timings.empty());
+    double sum = 0;
+    for (const PassTiming &t : report.pass_timings)
+        sum += t.seconds;
+    EXPECT_DOUBLE_EQ(report.total_seconds, sum);
+    EXPECT_DOUBLE_EQ(report.placement_seconds,
+                     report.passSeconds("initial-placement"));
+    EXPECT_GE(report.total_seconds, report.placement_seconds);
+}
+
+TEST(Driver, ReportSurfacesScheduleCounters)
+{
+    const CompileReport report = compileCircuit(smallCircuit());
+    EXPECT_EQ(report.counters.at("routed_cx"),
+              static_cast<long>(report.result.braids_routed));
+    EXPECT_EQ(report.counters.at("deferred_cx"),
+              static_cast<long>(report.result.routing_failures));
+    EXPECT_EQ(report.counters.at("swaps_inserted"),
+              static_cast<long>(report.result.swaps_inserted));
+    EXPECT_EQ(report.counters.at("layout_invocations"),
+              static_cast<long>(report.result.layout_invocations));
+    EXPECT_EQ(report.counters.at("critical_path_cycles"),
+              static_cast<long>(report.critical_path));
+}
+
+TEST(Driver, ValidateRejectsBadOptions)
+{
+    const Circuit circuit = smallCircuit();
+    CompileOptions bad_p;
+    bad_p.p_threshold = 1.5;
+    EXPECT_THROW(compileCircuit(circuit, bad_p), UserError);
+    bad_p.p_threshold = -0.1;
+    EXPECT_THROW(compileCircuit(circuit, bad_p), UserError);
+
+    CompileOptions bad_defect;
+    bad_defect.dead_vertices = {10'000};
+    EXPECT_THROW(compileCircuit(circuit, bad_defect), UserError);
+    bad_defect.dead_vertices = {-1};
+    EXPECT_THROW(compileCircuit(circuit, bad_defect), UserError);
+
+    CompileOptions bad_distance;
+    bad_distance.cost.distance = 0;
+    EXPECT_THROW(compileCircuit(circuit, bad_distance), UserError);
+
+    // Zero-qubit circuits cannot even be constructed.
+    EXPECT_THROW(Circuit(0, "empty"), UserError);
+}
+
+TEST(Driver, ShimMatchesDriverOnBundledQasm)
+{
+    for (const char *file : {"adder4.qasm", "grover3.qasm"}) {
+        const Circuit circuit = qasm::loadCircuit(
+            std::string(AB_CIRCUITS_DIR) + "/" + file);
+        for (SchedulerPolicy policy :
+             {SchedulerPolicy::Baseline, SchedulerPolicy::AutobraidSP,
+              SchedulerPolicy::AutobraidFull}) {
+            CompileOptions opt;
+            opt.policy = policy;
+            const CompileReport shim =
+                compilePipeline(circuit, opt);
+            const CompileReport driver =
+                runPassPipeline(circuit, opt,
+                                PassManager::standardPipeline());
+            EXPECT_EQ(shim.metricsSummary(),
+                      driver.metricsSummary())
+                << file;
+        }
+    }
+}
+
+TEST(Driver, ShimMatchesDriverOnEveryGeneratorFamily)
+{
+    // One small instance per family in src/gen.
+    const std::vector<std::string> specs{
+        "qft:9",        "bv:9",     "cc:9",     "im:9:2",
+        "qaoa:8:2",     "bwt:8",    "shor:3:2", "qpe:4:3",
+        "grover:4",     "adder:4",  "ghz:8",    "randct:8:60:1",
+        "mct:6:40:1",   "revlib:rd32-v0"};
+    for (const std::string &spec : specs) {
+        const Circuit circuit = gen::make(spec);
+        CompileOptions opt;
+        const CompileReport shim = compilePipeline(circuit, opt);
+        const CompileReport driver = runPassPipeline(
+            circuit, opt, PassManager::standardPipeline());
+        EXPECT_EQ(shim.metricsSummary(), driver.metricsSummary())
+            << spec;
+        EXPECT_EQ(shim.result.makespan, driver.result.makespan)
+            << spec;
+        EXPECT_EQ(shim.critical_path, driver.critical_path) << spec;
+        EXPECT_EQ(shim.result.swaps_inserted,
+                  driver.result.swaps_inserted)
+            << spec;
+    }
+}
+
+TEST(Batch, DeriveJobSeedIsStableAndSpreads)
+{
+    EXPECT_EQ(deriveJobSeed(2021, 0), deriveJobSeed(2021, 0));
+    EXPECT_NE(deriveJobSeed(2021, 0), deriveJobSeed(2021, 1));
+    EXPECT_NE(deriveJobSeed(2021, 0), deriveJobSeed(2022, 0));
+}
+
+TEST(Batch, DeterministicAcrossThreadCounts)
+{
+    const std::vector<std::string> specs{"qft:9", "im:9:2", "qaoa:8:2",
+                                         "bv:9",  "adder:4", "ghz:8"};
+    auto digest = [&specs](int threads) {
+        BatchOptions opts;
+        opts.threads = threads;
+        BatchCompiler batch(opts);
+        for (const std::string &spec : specs)
+            batch.addSpec(spec);
+        std::string out;
+        for (const BatchResult &res : batch.compileAll()) {
+            EXPECT_TRUE(res.ok) << res.label << ": " << res.error;
+            out += res.label + "\n" + res.report.metricsSummary();
+        }
+        return out;
+    };
+    const std::string one = digest(1);
+    EXPECT_EQ(one, digest(8));
+    EXPECT_EQ(one, digest(3));
+    EXPECT_FALSE(one.empty());
+}
+
+TEST(Batch, ResultsStayInInputOrderWithDerivedSeeds)
+{
+    BatchOptions opts;
+    opts.threads = 4;
+    BatchCompiler batch(opts);
+    batch.addSpec("qft:9");
+    batch.addSpec("adder:4");
+    batch.add(smallCircuit(), {}, "inline-job");
+    const auto results = batch.compileAll();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].label, "qft:9");
+    EXPECT_EQ(results[1].label, "adder:4");
+    EXPECT_EQ(results[2].label, "inline-job");
+}
+
+TEST(Batch, PerJobErrorsDoNotPoisonTheBatch)
+{
+    BatchOptions opts;
+    opts.threads = 2;
+    BatchCompiler batch(opts);
+    batch.addSpec("qft:9");
+    CompileOptions bad;
+    bad.p_threshold = 7.0;
+    batch.add(smallCircuit(), bad, "bad-job");
+    const auto results = batch.compileAll();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("p_threshold"),
+              std::string::npos);
+}
+
+TEST(Batch, BadSpecThrowsAtAddTime)
+{
+    BatchCompiler batch;
+    EXPECT_THROW(batch.addSpec("nonsense:1"), UserError);
+    EXPECT_EQ(batch.jobCount(), 0u);
+}
+
+} // namespace
+} // namespace autobraid

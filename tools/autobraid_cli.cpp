@@ -15,6 +15,9 @@
  *     --defects=N                 inject N random dead vertices
  *     --compare                   run all three policies
  *     --sweep-p                   run the Fig. 18 style p sweep
+ *     --jobs=N                    batch-compile the inputs over N
+ *                                 worker threads (BatchCompiler)
+ *     --timings                   print per-pass wall times
  *     --json                      emit a JSON report (no trace)
  *     --json-trace                emit a JSON report with full trace
  *     --draw                      ASCII placement + braid activity
@@ -34,8 +37,9 @@
 #include "common/error.hpp"
 #include "gen/registry.hpp"
 #include "place/initial.hpp"
+#include "compiler/batch.hpp"
+#include "compiler/driver.hpp"
 #include "qasm/elaborator.hpp"
-#include "sched/pipeline.hpp"
 #include "viz/ascii.hpp"
 #include "viz/json.hpp"
 
@@ -52,7 +56,9 @@ struct CliOptions
     bool json_trace = false;
     bool draw = false;
     bool stats = false;
+    bool timings = false;
     int defects = 0;
+    int jobs = 1;
     std::vector<std::string> inputs;
 };
 
@@ -64,7 +70,8 @@ usage(int code)
         "usage: autobraid_cli [options] <spec-or-file>...\n"
         "  --policy=baseline|sp|full  --distance=D  --p=F  --seed=S\n"
         "  --no-maslov  --defects=N  --teleport=HOLD  --compare\n"
-        "  --sweep-p  --json  --json-trace  --draw  --stats  --list\n");
+        "  --sweep-p  --jobs=N  --timings  --json  --json-trace\n"
+        "  --draw  --stats  --list\n");
     std::exit(code);
 }
 
@@ -111,6 +118,10 @@ parseArgs(int argc, char **argv)
                 static_cast<uint64_t>(std::stoull(value));
         } else if (matchValue(arg, "--defects", value)) {
             opts.defects = std::stoi(value);
+        } else if (matchValue(arg, "--jobs", value)) {
+            opts.jobs = std::stoi(value);
+        } else if (std::strcmp(arg, "--timings") == 0) {
+            opts.timings = true;
         } else if (matchValue(arg, "--teleport", value)) {
             opts.compile.channel_hold_cycles =
                 static_cast<Cycles>(std::stoull(value));
@@ -149,6 +160,16 @@ loadInput(const std::string &input)
     if (input.find('/') != std::string::npos)
         return qasm::loadCircuit(input);
     return gen::make(input);
+}
+
+void
+printTimings(const CompileReport &report)
+{
+    std::printf("  passes:");
+    for (const PassTiming &t : report.pass_timings)
+        std::printf(" %s=%.4fs", t.pass.c_str(), t.seconds);
+    std::printf("  (placement=%.4fs total=%.4fs)\n",
+                report.placement_seconds, report.total_seconds);
 }
 
 void
@@ -218,7 +239,7 @@ runOne(const CliOptions &opts, const std::string &input)
     for (SchedulerPolicy policy : policies) {
         CompileOptions o = compile;
         o.policy = policy;
-        const CompileReport report = compilePipeline(circuit, o);
+        const CompileReport report = compileCircuit(circuit, o);
         if (opts.json) {
             std::printf("%s\n",
                         viz::reportToJson(report, o.cost,
@@ -226,6 +247,8 @@ runOne(const CliOptions &opts, const std::string &input)
                             .c_str());
         } else {
             printHuman(report, o.cost);
+            if (opts.timings)
+                printTimings(report);
         }
         if (opts.draw) {
             const Grid grid = Grid::forQubits(circuit.numQubits());
@@ -243,12 +266,62 @@ runOne(const CliOptions &opts, const std::string &input)
     return 0;
 }
 
+/**
+ * Batch mode (--jobs=N with several inputs): compile everything
+ * concurrently through the BatchCompiler, then print the reports in
+ * input order. The per-job seeds stay exactly as configured
+ * (derive_seeds = false) so batch output matches N sequential runs.
+ */
+int
+runBatch(const CliOptions &opts)
+{
+    BatchOptions batch_opts;
+    batch_opts.threads = opts.jobs;
+    batch_opts.derive_seeds = false;
+    BatchCompiler batch(batch_opts);
+    for (const std::string &input : opts.inputs)
+        batch.add(loadInput(input), opts.compile, input);
+
+    int rc = 0;
+    for (const BatchResult &res : batch.compileAll()) {
+        if (!res.ok) {
+            std::fprintf(stderr, "error: %s: %s\n",
+                         res.label.c_str(), res.error.c_str());
+            rc = 1;
+            continue;
+        }
+        if (opts.json) {
+            std::printf("%s\n",
+                        viz::reportToJson(res.report,
+                                          opts.compile.cost, false)
+                            .c_str());
+        } else {
+            printHuman(res.report, opts.compile.cost);
+            if (opts.timings)
+                printTimings(res.report);
+        }
+    }
+    return rc;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const CliOptions opts = parseArgs(argc, argv);
+    const bool batchable = opts.jobs > 1 && opts.inputs.size() > 1 &&
+                           !opts.sweep_p && !opts.compare &&
+                           !opts.draw && !opts.stats &&
+                           opts.defects == 0 && !opts.json_trace;
+    if (batchable) {
+        try {
+            return runBatch(opts);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     for (const std::string &input : opts.inputs) {
         try {
             const int rc = runOne(opts, input);
