@@ -34,13 +34,16 @@ workloads(bool quick)
 
 /** Run the whole suite once at @p threads; returns {seconds, digest}. */
 std::pair<double, std::string>
-runSuite(const std::vector<std::string> &specs, int threads)
+runSuite(const std::vector<std::string> &specs, int threads,
+         bool telemetry = false)
 {
     BatchOptions opts;
     opts.threads = threads;
     BatchCompiler batch(opts);
+    CompileOptions compile;
+    compile.telemetry.enabled = telemetry;
     for (const std::string &spec : specs)
-        batch.addSpec(spec);
+        batch.addSpec(spec, compile);
 
     const auto start = std::chrono::steady_clock::now();
     const auto results = batch.compileAll();
@@ -94,9 +97,24 @@ main()
         }
         std::fflush(stdout);
     }
+
+    // Telemetry on at 8 threads must not perturb the deterministic
+    // reports: spans carry the wall clock, metricsSummary() never does.
+    {
+        const auto [seconds, digest] = runSuite(specs, 8, true);
+        const bool identical = digest == reference;
+        table.addRow({"8+telemetry", strformat("%.3f", seconds),
+                      strformat("%.2fx", t1 / seconds),
+                      identical ? "yes" : "NO"});
+        if (!identical) {
+            std::fprintf(stderr, "telemetry perturbed the reports\n");
+            return 1;
+        }
+    }
     table.print();
     std::printf("\nEvery thread count produced byte-identical "
-                "metricsSummary() output; speedup scales with the "
-                "machine's core count.\n");
+                "metricsSummary() output — including the run with "
+                "telemetry enabled; speedup scales with the machine's "
+                "core count.\n");
     return 0;
 }

@@ -6,12 +6,35 @@
  * time-weighted average are reported for the baseline and
  * autobraid-full (paper: autobraid reaches up to ~70%, the baseline
  * ~37%).
+ *
+ * The numbers come from telemetry::utilizationTimeline() — the same
+ * sweep the CLI's --trace-out exporter uses for its utilization counter
+ * track — so the figure and the Perfetto view cannot drift apart. Set
+ * AB_TRACE_OUT=FILE to also dump the last autobraid-full compile as a
+ * Chrome trace-event file.
  */
 
+#include <cstdlib>
+
 #include "bench_util.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 using namespace autobraid;
 using namespace autobraid::bench;
+
+namespace {
+
+/** Peak / time-weighted-average utilization via the shared exporter. */
+telemetry::UtilStats
+utilOf(const CompileReport &report)
+{
+    const Grid grid(report.grid_side, report.grid_side);
+    return telemetry::utilizationStats(
+        telemetry::utilizationTimeline(report.result, grid),
+        report.result.makespan);
+}
+
+} // namespace
 
 int
 main()
@@ -34,29 +57,33 @@ main()
             CompileOptions base;
             base.policy = SchedulerPolicy::Baseline;
             base.cost = cost;
+            base.record_trace = true;
             const CompileReport rb = compileCircuit(circuit, base);
 
             CompileOptions full;
             full.policy = SchedulerPolicy::AutobraidFull;
             full.cost = cost;
+            full.record_trace = true;
             const CompileReport rf = compileCircuit(circuit, full);
 
-            best_base =
-                std::max(best_base, rb.result.avg_utilization);
-            best_ours =
-                std::max(best_ours, rf.result.avg_utilization);
+            const telemetry::UtilStats ub = utilOf(rb);
+            const telemetry::UtilStats uf = utilOf(rf);
+            best_base = std::max(best_base, ub.avg);
+            best_ours = std::max(best_ours, uf.avg);
 
             table.addRow(
                 {strformat("%.0e", pt.inv_pl),
                  std::to_string(circuit.numQubits()),
-                 strformat("%.0f%%",
-                           100 * rb.result.peak_utilization),
-                 strformat("%.0f%%", 100 * rb.result.avg_utilization),
-                 strformat("%.0f%%",
-                           100 * rf.result.peak_utilization),
-                 strformat("%.0f%%",
-                           100 * rf.result.avg_utilization)});
+                 strformat("%.0f%%", 100 * ub.peak),
+                 strformat("%.0f%%", 100 * ub.avg),
+                 strformat("%.0f%%", 100 * uf.peak),
+                 strformat("%.0f%%", 100 * uf.avg)});
             std::fflush(stdout);
+
+            if (const char *path = std::getenv("AB_TRACE_OUT"))
+                writeTextFile(
+                    path,
+                    telemetry::chromeTraceJson(rf, cost) + "\n");
         }
         table.print();
         std::printf("\n");

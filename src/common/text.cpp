@@ -5,6 +5,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/error.hpp"
+
 namespace autobraid {
 
 std::string
@@ -109,6 +111,19 @@ std::string
 humanMicros(double micros)
 {
     return humanQuantity(micros);
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const size_t written =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != content.size() || !closed)
+        fatal("short write to '%s'", path.c_str());
 }
 
 } // namespace autobraid

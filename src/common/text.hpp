@@ -39,6 +39,12 @@ std::string humanQuantity(double value);
  */
 std::string humanMicros(double micros);
 
+/**
+ * Write @p content to @p path, replacing any existing file. Raises
+ * UserError when the file cannot be opened or fully written.
+ */
+void writeTextFile(const std::string &path, const std::string &content);
+
 } // namespace autobraid
 
 #endif // AUTOBRAID_COMMON_TEXT_HPP

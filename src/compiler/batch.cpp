@@ -22,6 +22,16 @@ deriveJobSeed(uint64_t base_seed, size_t job_index)
     return z ^ (z >> 31);
 }
 
+telemetry::MetricsRegistry
+aggregateMetrics(const std::vector<BatchResult> &results)
+{
+    telemetry::MetricsRegistry merged;
+    for (const BatchResult &res : results)
+        if (res.ok && res.report.telemetry)
+            merged.merge(res.report.telemetry->metrics());
+    return merged;
+}
+
 BatchCompiler::BatchCompiler(BatchOptions options)
     : options_(options)
 {

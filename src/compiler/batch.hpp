@@ -57,6 +57,15 @@ struct BatchResult
 /** Deterministic per-job seed: splitmix64(base ^ index). */
 uint64_t deriveJobSeed(uint64_t base_seed, size_t job_index);
 
+/**
+ * Merge every successful job's telemetry metrics into one registry,
+ * in input order — so the aggregate is byte-identical no matter how
+ * many worker threads compiled the batch. Jobs without telemetry
+ * contribute nothing.
+ */
+telemetry::MetricsRegistry aggregateMetrics(
+    const std::vector<BatchResult> &results);
+
 /** Compiles a set of circuits concurrently over a thread pool. */
 class BatchCompiler
 {

@@ -13,6 +13,11 @@ CompileContext::CompileContext(const Circuit &circ,
     report.policy = opts.policy;
     report.num_qubits = circ.numQubits();
     report.num_gates = circ.size();
+    if (opts.telemetry.enabled) {
+        telemetry =
+            std::make_shared<telemetry::Telemetry>(opts.telemetry);
+        report.telemetry = telemetry;
+    }
 }
 
 void

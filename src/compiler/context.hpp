@@ -21,6 +21,7 @@
 #include "compiler/report.hpp"
 #include "place/placement.hpp"
 #include "sched/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -40,6 +41,13 @@ struct CompileContext
     std::unique_ptr<BraidScheduler> scheduler; ///< analysis (owns DAG)
     std::optional<Placement> placement;        ///< placement
     CompileReport report;                      ///< filled throughout
+
+    /**
+     * Telemetry sink (also referenced by report.telemetry); null when
+     * options.telemetry.enabled is false. The driver installs it as
+     * the thread-local sink while the pipeline runs.
+     */
+    std::shared_ptr<telemetry::Telemetry> telemetry;
 
     /** Add @p delta to counter @p name (creating it at zero). */
     void bump(const std::string &name, long delta = 1);

@@ -10,6 +10,9 @@ runPassPipeline(const Circuit &circuit, const CompileOptions &options,
 {
     options.validate(circuit);
     CompileContext ctx(circuit, options);
+    // Install the context's telemetry sink (or actively disable any
+    // inherited one when telemetry is off) for the pipeline's duration.
+    const telemetry::TelemetryScope scope(ctx.telemetry.get());
     passes.run(ctx);
     return std::move(ctx.report);
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sched/policy.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -42,6 +43,15 @@ struct CompileOptions
 
     /** Greedy ordering for the Baseline policy (ablations). */
     GreedyOrder baseline_order = GreedyOrder::Distance;
+
+    /**
+     * Telemetry switches. When enabled, the driver attaches a
+     * telemetry::Telemetry sink to the compilation (spans + metrics,
+     * surfaced as CompileReport::telemetry) — kept strictly separate
+     * from the deterministic report counters, so enabling telemetry
+     * never changes metricsSummary().
+     */
+    telemetry::TelemetryOptions telemetry;
 
     /**
      * Channel hold in cycles; 0 = braiding (full CX window), > 0 =

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "compiler/passes.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -77,7 +78,10 @@ PassManager::run(CompileContext &ctx) const
                                     passes_.size());
     for (const auto &pass : passes_) {
         const auto start = std::chrono::steady_clock::now();
-        pass->run(ctx);
+        {
+            AUTOBRAID_SPAN(std::string("pass.") + pass->name());
+            pass->run(ctx);
+        }
         const double seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)

@@ -16,6 +16,7 @@
 #define AUTOBRAID_COMPILER_REPORT_HPP
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,10 @@
 #include "sched/policy.hpp"
 
 namespace autobraid {
+
+namespace telemetry {
+class Telemetry;
+} // namespace telemetry
 
 /** Wall-clock of one executed pass. */
 struct PassTiming
@@ -56,6 +61,14 @@ struct CompileReport
 
     /** Validation/diagnostic messages accumulated by the passes. */
     std::vector<std::string> diagnostics;
+
+    /**
+     * Telemetry sink of this compilation (spans + metrics registry);
+     * null unless CompileOptions::telemetry.enabled. Everything
+     * wall-clock or non-deterministic lives here, never in counters,
+     * so metricsSummary() stays byte-identical with telemetry on.
+     */
+    std::shared_ptr<telemetry::Telemetry> telemetry;
 
     /** Derived: wall time of the initial-placement pass. */
     double placement_seconds = 0;

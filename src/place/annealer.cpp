@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "llg/llg.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 namespace {
@@ -74,6 +75,7 @@ Placement
 annealPlacement(const Circuit &circuit, Placement initial, Rng &rng,
                 const AnnealConfig &config)
 {
+    AUTOBRAID_SPAN("place.anneal");
     const auto sets = sampleSets(circuit, config.max_sets);
     if (sets.empty())
         return initial;
@@ -134,11 +136,14 @@ annealPlacement(const Circuit &circuit, Placement initial, Rng &rng,
             : 1.0;
     double temp = config.t_start;
 
+    long long proposals = 0;
+    long long accepts = 0;
     std::vector<size_t> affected;
     std::vector<long> new_cost;
     for (int it = 0; it < iterations; ++it, temp *= cool) {
         if (best_total == 0)
             break;
+        ++proposals;
         // Propose: swap two distinct qubits, or hop one qubit to a free
         // tile when the grid has spare cells.
         const auto a = static_cast<Qubit>(rng.index(
@@ -191,6 +196,7 @@ annealPlacement(const Circuit &circuit, Placement initial, Rng &rng,
             rng.uniform() <
                 std::exp(-static_cast<double>(delta) / temp);
         if (accept) {
+            ++accepts;
             for (size_t i = 0; i < affected.size(); ++i)
                 cost[affected[i]] = new_cost[i];
             total += delta;
@@ -203,6 +209,14 @@ annealPlacement(const Circuit &circuit, Placement initial, Rng &rng,
         } else {
             current.swapQubits(a, b);
         }
+    }
+    if (proposals > 0) {
+        AUTOBRAID_COUNT("place.anneal_proposals", proposals);
+        AUTOBRAID_COUNT("place.anneal_accepts", accepts);
+        AUTOBRAID_OBSERVE("place.anneal_acceptance",
+                          static_cast<double>(accepts) /
+                              static_cast<double>(proposals),
+                          telemetry::ratioBounds());
     }
     return best;
 }

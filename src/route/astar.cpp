@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -81,6 +82,9 @@ AStarRouter::route(const Cell &src, const Cell &dst,
         open.emplace(1 + heuristic(grid_->vertex(s)), 1, s);
     }
 
+    // Search-effort telemetry: expansions per query feed the
+    // "route.astar_nodes" histogram (no-op without a sink).
+    size_t expanded = 0;
     std::array<VertexId, 4> nbrs;
     while (!open.empty()) {
         const auto [f, g, v] = open.top();
@@ -88,12 +92,15 @@ AStarRouter::route(const Cell &src, const Cell &dst,
         const auto vi = static_cast<size_t>(v);
         if (dist_[vi] != g || seen_[vi] != stamp_)
             continue; // stale entry
+        ++expanded;
         if (is_target(v)) {
             Path path;
             for (VertexId cur = v; cur != -1;
                  cur = parent_[static_cast<size_t>(cur)])
                 path.vertices.push_back(cur);
             std::reverse(path.vertices.begin(), path.vertices.end());
+            AUTOBRAID_OBSERVE("route.astar_nodes",
+                              static_cast<double>(expanded));
             return path;
         }
         const int n = grid_->neighbors(v, nbrs);
@@ -111,6 +118,9 @@ AStarRouter::route(const Cell &src, const Cell &dst,
             open.emplace(ng + heuristic(grid_->vertex(w)), ng, w);
         }
     }
+    AUTOBRAID_OBSERVE("route.astar_nodes",
+                      static_cast<double>(expanded));
+    AUTOBRAID_COUNT("route.astar_misses");
     return std::nullopt;
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "lattice/occupancy.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -34,6 +35,9 @@ GreedyPathFinder::findPaths(const std::vector<CxTask> &tasks,
     RoutingOutcome outcome;
     if (tasks.empty())
         return outcome;
+    AUTOBRAID_SPAN("route.greedy_finder");
+    AUTOBRAID_OBSERVE("route.greedy_tasks",
+                      static_cast<double>(tasks.size()));
 
     std::vector<size_t> order(tasks.size());
     std::iota(order.begin(), order.end(), 0);

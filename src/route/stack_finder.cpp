@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lattice/occupancy.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -15,6 +16,9 @@ StackPathFinder::findPaths(const std::vector<CxTask> &tasks,
     RoutingOutcome outcome;
     if (tasks.empty())
         return outcome;
+    AUTOBRAID_SPAN("route.stack_finder");
+    AUTOBRAID_OBSERVE("route.stack_tasks",
+                      static_cast<double>(tasks.size()));
 
     // Stage 1-2: peel max-degree nodes onto the stack until maxdeg <= 2.
     InterferenceGraph ig(tasks);
@@ -28,6 +32,8 @@ StackPathFinder::findPaths(const std::vector<CxTask> &tasks,
         stack.push_back(pick);
         ig.remove(pick);
     }
+    AUTOBRAID_OBSERVE("route.stack_peeled",
+                      static_cast<double>(stack.size()));
 
     // Stage 3: route the residual low-interference gates, smallest
     // bounding box first so short-distance pairs consume local resources.

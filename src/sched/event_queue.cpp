@@ -1,6 +1,7 @@
 #include "sched/event_queue.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -21,6 +22,8 @@ EventQueue::popBatch()
         batch.push_back(heap_.top());
         heap_.pop();
     }
+    AUTOBRAID_OBSERVE("sched.event_batch",
+                      static_cast<double>(batch.size()));
     return batch;
 }
 

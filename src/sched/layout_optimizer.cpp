@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
@@ -25,6 +26,9 @@ LayoutOptimizer::propose(const std::vector<CxTask> &failed_tasks,
                          const BlockedFn &blocked,
                          const std::vector<uint8_t> &movable)
 {
+    AUTOBRAID_SPAN("sched.layout_optimizer");
+    AUTOBRAID_OBSERVE("sched.layout_failed_tasks",
+                      static_cast<double>(failed_tasks.size()));
     const Grid &grid = placement.grid();
 
     // Work only on tasks whose operands may move. Recover the operand
@@ -191,6 +195,9 @@ LayoutOptimizer::propose(const std::vector<CxTask> &failed_tasks,
         plan.push_back(PlannedSwap{accepted[i].first,
                                    accepted[i].second,
                                    std::move(accepted_paths[i])});
+    if (!plan.empty())
+        AUTOBRAID_COUNT("sched.layout_swaps_planned",
+                        static_cast<long long>(plan.size()));
     return plan;
 }
 

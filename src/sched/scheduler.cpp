@@ -11,6 +11,7 @@
 #include "sched/event_queue.hpp"
 #include "sched/layout_optimizer.hpp"
 #include "sched/maslov.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 namespace {
@@ -65,6 +66,8 @@ class Engine
     ScheduleResult
     run()
     {
+        AUTOBRAID_SPAN(maslov_mode_ ? "sched.run_maslov"
+                                    : "sched.run");
         const auto wall_start = std::chrono::steady_clock::now();
         dispatch(0);
         while (!front_.done()) {
@@ -245,6 +248,8 @@ class Engine
         const double util =
             static_cast<double>(occ_.busyCount(t)) /
             static_cast<double>(grid_->numVertices());
+        AUTOBRAID_OBSERVE("sched.instant_utilization", util,
+                          telemetry::ratioBounds());
         result_.peak_utilization =
             std::max(result_.peak_utilization, util);
         result_.max_concurrent_braids =
@@ -319,6 +324,8 @@ class Engine
         ++braids_in_flight_;
         ++gates_in_flight_;
         ++result_.braids_routed;
+        AUTOBRAID_OBSERVE("sched.braid_path_length",
+                          static_cast<double>(path.length()));
         vertex_cycles_ += static_cast<double>(path.length()) *
                           static_cast<double>(hold);
         if (config_->record_trace)
@@ -366,6 +373,10 @@ class Engine
         for (const auto &[idx, path] : outcome.routed)
             issueBraid(t, gates[idx], path);
         result_.routing_failures += outcome.failed.size();
+        if (!outcome.failed.empty())
+            AUTOBRAID_COUNT(
+                "sched.routing_failures",
+                static_cast<long long>(outcome.failed.size()));
 
         const bool trigger =
             config_->policy == SchedulerPolicy::AutobraidFull &&
@@ -374,6 +385,7 @@ class Engine
         if (!trigger)
             return;
         ++result_.layout_invocations;
+        AUTOBRAID_COUNT("sched.layout_invocations");
         std::vector<CxTask> failed_tasks;
         failed_tasks.reserve(outcome.failed.size());
         for (size_t idx : outcome.failed)

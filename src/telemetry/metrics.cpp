@@ -1,0 +1,295 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace telemetry {
+namespace {
+
+/** Render a double with enough digits to round-trip metric values. */
+std::string
+num(double v)
+{
+    // %.9g keeps counters-as-doubles exact and ratios stable while
+    // avoiding the trailing-zero noise of %f.
+    std::string s = strformat("%.9g", v);
+    // JSON forbids bare "inf"/"nan"; metrics never produce them, but
+    // guard anyway so a rogue value cannot corrupt a document.
+    if (s.find_first_not_of("0123456789+-.eE") != std::string::npos)
+        return "0";
+    return s;
+}
+
+std::string
+escapeName(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue; // metric names are identifiers; drop control chars
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds(std::move(bucket_bounds)),
+      counts(bounds.size() + 1, 0)
+{
+    require(std::is_sorted(bounds.begin(), bounds.end()),
+            "Histogram: bucket bounds must be ascending");
+}
+
+void
+Histogram::observe(double value)
+{
+    size_t b = 0;
+    while (b < bounds.size() && value > bounds[b])
+        ++b;
+    ++counts[b];
+    if (count == 0) {
+        min = max = value;
+    } else {
+        min = std::min(min, value);
+        max = std::max(max, value);
+    }
+    ++count;
+    sum += value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0)
+        *this = other;
+    else {
+        require(bounds == other.bounds,
+                "Histogram::merge: bucket layouts differ");
+        for (size_t i = 0; i < counts.size(); ++i)
+            counts[i] += other.counts[i];
+        count += other.count;
+        sum += other.sum;
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+}
+
+const std::vector<double> &
+powerOfTwoBounds()
+{
+    static const std::vector<double> bounds = [] {
+        std::vector<double> b;
+        for (double v = 1; v <= 65536; v *= 2)
+            b.push_back(v);
+        return b;
+    }();
+    return bounds;
+}
+
+const std::vector<double> &
+ratioBounds()
+{
+    static const std::vector<double> bounds = [] {
+        std::vector<double> b;
+        for (int i = 1; i <= 10; ++i)
+            b.push_back(0.1 * i);
+        return b;
+    }();
+    return bounds;
+}
+
+MetricsRegistry::MetricsRegistry(const MetricsRegistry &other)
+{
+    std::lock_guard<std::mutex> lock(other.mu_);
+    counters_ = other.counters_;
+    gauges_ = other.gauges_;
+    histograms_ = other.histograms_;
+}
+
+MetricsRegistry &
+MetricsRegistry::operator=(const MetricsRegistry &other)
+{
+    if (this == &other)
+        return *this;
+    MetricsRegistry copy(other);
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_ = std::move(copy.counters_);
+    gauges_ = std::move(copy.gauges_);
+    histograms_ = std::move(copy.histograms_);
+    return *this;
+}
+
+void
+MetricsRegistry::add(const std::string &name, long long delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value,
+                         const std::vector<double> &bucket_bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(bucket_bounds)).first;
+    it->second.observe(value);
+}
+
+long long
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.empty() && gauges_.empty() &&
+           histograms_.empty();
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    // Snapshot first so self-merge and lock ordering are safe.
+    const MetricsRegistry snap(other);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, value] : snap.counters_)
+        counters_[name] += value;
+    for (const auto &[name, value] : snap.gauges_)
+        gauges_[name] = value;
+    for (const auto &[name, hist] : snap.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            histograms_.emplace(name, hist);
+        else
+            it->second.merge(hist);
+    }
+}
+
+std::string
+MetricsRegistry::toText() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const auto &[name, value] : counters_)
+        out += strformat("counter %-32s %lld\n", name.c_str(), value);
+    for (const auto &[name, value] : gauges_)
+        out += strformat("gauge   %-32s %s\n", name.c_str(),
+                         num(value).c_str());
+    for (const auto &[name, h] : histograms_) {
+        out += strformat("hist    %-32s count=%llu sum=%s min=%s "
+                         "max=%s mean=%s\n",
+                         name.c_str(),
+                         static_cast<unsigned long long>(h.count),
+                         num(h.sum).c_str(), num(h.min).c_str(),
+                         num(h.max).c_str(), num(h.mean()).c_str());
+        std::string line = "        buckets:";
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+            const std::string label =
+                i < h.bounds.size()
+                    ? strformat("le%s", num(h.bounds[i]).c_str())
+                    : std::string("inf");
+            line += strformat(" %s=%llu", label.c_str(),
+                              static_cast<unsigned long long>(
+                                  h.counts[i]));
+        }
+        out += line + "\n";
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += strformat("\"%s\":%lld", escapeName(name).c_str(),
+                         value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += strformat("\"%s\":%s", escapeName(name).c_str(),
+                         num(value).c_str());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += strformat(
+            "\"%s\":{\"count\":%llu,\"sum\":%s,\"min\":%s,"
+            "\"max\":%s,\"bounds\":[",
+            escapeName(name).c_str(),
+            static_cast<unsigned long long>(h.count),
+            num(h.sum).c_str(), num(h.min).c_str(),
+            num(h.max).c_str());
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i)
+                out += ",";
+            out += num(h.bounds[i]);
+        }
+        out += "],\"counts\":[";
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+            if (i)
+                out += ",";
+            out += strformat(
+                "%llu",
+                static_cast<unsigned long long>(h.counts[i]));
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace telemetry
+} // namespace autobraid

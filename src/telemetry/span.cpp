@@ -1,0 +1,63 @@
+#include "telemetry/span.hpp"
+
+#include <atomic>
+
+namespace autobraid {
+namespace telemetry {
+
+int
+threadTrackId()
+{
+    static std::atomic<int> next{1};
+    thread_local const int id = next.fetch_add(1);
+    return id;
+}
+
+Tracer::Tracer(size_t max_spans)
+    : epoch_(std::chrono::steady_clock::now()), max_spans_(max_spans)
+{}
+
+double
+Tracer::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+Tracer::record(std::string name, int tid, double start_us,
+               double dur_us)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= max_spans_) {
+        ++dropped_;
+        return;
+    }
+    spans_.push_back(
+        SpanRecord{std::move(name), tid, start_us, dur_us});
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+size_t
+Tracer::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+size_t
+Tracer::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+} // namespace telemetry
+} // namespace autobraid

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Guards the autobraid_cli documentation against drift: the option list
+ * in the file's header comment, the usage() text, and the flags
+ * parseArgs() actually accepts are extracted from the tool's source
+ * (path injected via AB_CLI_SOURCE) and compared as sets. This is the
+ * regression test for the historical bug where --teleport and --stats
+ * existed in usage() but were missing from the header comment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string
+readCliSource()
+{
+    std::ifstream in(AB_CLI_SOURCE);
+    EXPECT_TRUE(in.good()) << "cannot open " << AB_CLI_SOURCE;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Every distinct "--flag" token in @p text. */
+std::set<std::string>
+extractFlags(const std::string &text)
+{
+    std::set<std::string> flags;
+    for (size_t i = 0; i + 2 < text.size(); ++i) {
+        if (text[i] != '-' || text[i + 1] != '-')
+            continue;
+        if (i > 0 && (text[i - 1] == '-' ||
+                      std::isalnum(static_cast<unsigned char>(
+                          text[i - 1]))))
+            continue;
+        size_t end = i + 2;
+        while (end < text.size() &&
+               (std::islower(static_cast<unsigned char>(text[end])) ||
+                text[end] == '-'))
+            ++end;
+        if (end > i + 2)
+            flags.insert(text.substr(i, end - i));
+        i = end;
+    }
+    return flags;
+}
+
+/** Substring of @p text between markers (both must exist). */
+std::string
+section(const std::string &text, const std::string &from,
+        const std::string &to)
+{
+    const size_t a = text.find(from);
+    EXPECT_NE(a, std::string::npos) << from;
+    const size_t b = text.find(to, a);
+    EXPECT_NE(b, std::string::npos) << to;
+    return text.substr(a, b - a);
+}
+
+std::string
+describe(const std::set<std::string> &flags)
+{
+    std::string s;
+    for (const std::string &f : flags)
+        s += f + " ";
+    return s;
+}
+
+TEST(CliDoc, HeaderCommentMatchesUsage)
+{
+    const std::string src = readCliSource();
+    // The header comment is everything before the first include; the
+    // usage text lives between the function head and its exit call.
+    const auto header =
+        extractFlags(section(src, "/**", "#include"));
+    const auto usage =
+        extractFlags(section(src, "usage(int code)", "std::exit"));
+    EXPECT_EQ(header, usage)
+        << "header comment documents: " << describe(header)
+        << "\nusage() prints: " << describe(usage);
+}
+
+TEST(CliDoc, UsageOnlyAdvertisesParsedFlags)
+{
+    const std::string src = readCliSource();
+    const auto usage =
+        extractFlags(section(src, "usage(int code)", "std::exit"));
+    const auto parsed =
+        extractFlags(section(src, "parseArgs(", "loadInput"));
+    EXPECT_FALSE(usage.empty());
+    EXPECT_TRUE(std::includes(parsed.begin(), parsed.end(),
+                              usage.begin(), usage.end()))
+        << "usage() advertises: " << describe(usage)
+        << "\nparseArgs accepts: " << describe(parsed);
+}
+
+} // namespace

@@ -14,6 +14,8 @@
 
 #include "gen/registry.hpp"
 #include "sched/pipeline.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "viz/json.hpp"
 
 namespace autobraid {
@@ -224,6 +226,48 @@ TEST(JsonWellformed, HostileCircuitName)
     const std::string json =
         viz::reportToJson(report, opt.cost, false);
     EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(JsonWellformed, ChromeTraceIsValidJson)
+{
+    const Circuit circuit = gen::make("qft:9");
+    CompileOptions opt;
+    opt.record_trace = true;
+    opt.telemetry.enabled = true;
+    const auto report = compilePipeline(circuit, opt);
+    const std::string json =
+        telemetry::chromeTraceJson(report, opt.cost);
+    EXPECT_TRUE(JsonChecker(json).valid());
+    // Both processes must be present for Perfetto to show tracks.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("compiler (wall clock)"), std::string::npos);
+    EXPECT_NE(json.find("schedule (simulated)"), std::string::npos);
+}
+
+TEST(JsonWellformed, ChromeTraceWithoutTelemetryStillValid)
+{
+    // Telemetry off: the exporter synthesizes a pass-timing track.
+    const Circuit circuit = gen::make("ghz:8");
+    CompileOptions opt;
+    opt.record_trace = true;
+    const auto report = compilePipeline(circuit, opt);
+    const std::string json =
+        telemetry::chromeTraceJson(report, opt.cost);
+    EXPECT_TRUE(JsonChecker(json).valid());
+    EXPECT_NE(json.find("\"cat\":\"pass\""), std::string::npos);
+}
+
+TEST(JsonWellformed, MetricsRegistryJson)
+{
+    const Circuit circuit = gen::make("im:9:2");
+    CompileOptions opt;
+    opt.telemetry.enabled = true;
+    const auto report = compilePipeline(circuit, opt);
+    ASSERT_NE(report.telemetry, nullptr);
+    const std::string json = report.telemetry->metrics().toJson();
+    EXPECT_TRUE(JsonChecker(json).valid());
+    EXPECT_TRUE(JsonChecker(telemetry::MetricsRegistry().toJson())
+                    .valid());
 }
 
 } // namespace

@@ -79,6 +79,25 @@ TEST(Teleport, SchedulesLegallyAndReleasesEarly)
     EXPECT_TRUE(saw_braid);
 }
 
+TEST(Teleport, BraidModeReleasesAtFinish)
+{
+    // Without teleportation (hold = 0), a braid owns its channel for
+    // the gate's whole duration: release coincides with finish.
+    const Circuit circuit = gen::make("qft:12");
+    CompileOptions opt;
+    opt.policy = SchedulerPolicy::AutobraidSP;
+    opt.record_trace = true;
+    const auto report = compilePipeline(circuit, opt);
+    bool saw_braid = false;
+    for (const TraceEntry &e : report.result.trace) {
+        if (e.path.empty() || e.gate == kNoGate)
+            continue;
+        saw_braid = true;
+        EXPECT_EQ(e.channel_release, e.finish);
+    }
+    EXPECT_TRUE(saw_braid);
+}
+
 TEST(Teleport, NeverSlowerThanBraiding)
 {
     for (const char *spec : {"qft:16", "qaoa:16:2", "im:16:2"}) {

@@ -13,6 +13,8 @@
  *     --seed=S                    placement seed
  *     --no-maslov                 disable the swap-network mode
  *     --defects=N                 inject N random dead vertices
+ *     --teleport=HOLD             teleport-style channels: release each
+ *                                 braid channel HOLD cycles after start
  *     --compare                   run all three policies
  *     --sweep-p                   run the Fig. 18 style p sweep
  *     --jobs=N                    batch-compile the inputs over N
@@ -20,8 +22,16 @@
  *     --timings                   print per-pass wall times
  *     --json                      emit a JSON report (no trace)
  *     --json-trace                emit a JSON report with full trace
+ *     --trace-out=FILE            write a Chrome trace-event JSON file
+ *                                 (load it in Perfetto; single input)
+ *     --metrics-out=FILE          write the telemetry metrics registry
+ *                                 as JSON, aggregated over all runs
  *     --draw                      ASCII placement + braid activity
+ *     --stats                     print circuit statistics up front
  *     --list                      list benchmark spec families
+ *
+ * The option list above is mirrored by usage(); test_cli_doc checks the
+ * two stay in sync.
  *
  * Arguments containing '.' or '/' are treated as QASM paths; anything
  * else goes through the benchmark registry ("qft:100", "im:500:3",
@@ -35,11 +45,14 @@
 
 #include "circuit/stats.hpp"
 #include "common/error.hpp"
+#include "common/text.hpp"
 #include "gen/registry.hpp"
 #include "place/initial.hpp"
 #include "compiler/batch.hpp"
 #include "compiler/driver.hpp"
 #include "qasm/elaborator.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "viz/ascii.hpp"
 #include "viz/json.hpp"
 
@@ -59,6 +72,8 @@ struct CliOptions
     bool timings = false;
     int defects = 0;
     int jobs = 1;
+    std::string trace_out;
+    std::string metrics_out;
     std::vector<std::string> inputs;
 };
 
@@ -71,6 +86,7 @@ usage(int code)
         "  --policy=baseline|sp|full  --distance=D  --p=F  --seed=S\n"
         "  --no-maslov  --defects=N  --teleport=HOLD  --compare\n"
         "  --sweep-p  --jobs=N  --timings  --json  --json-trace\n"
+        "  --trace-out=FILE  --metrics-out=FILE\n"
         "  --draw  --stats  --list\n");
     std::exit(code);
 }
@@ -137,6 +153,10 @@ parseArgs(int argc, char **argv)
             opts.json = true;
         } else if (std::strcmp(arg, "--json-trace") == 0) {
             opts.json = opts.json_trace = true;
+        } else if (matchValue(arg, "--trace-out", value)) {
+            opts.trace_out = value;
+        } else if (matchValue(arg, "--metrics-out", value)) {
+            opts.metrics_out = value;
         } else if (std::strcmp(arg, "--draw") == 0) {
             opts.draw = true;
         } else if (arg[0] == '-') {
@@ -148,6 +168,16 @@ parseArgs(int argc, char **argv)
     }
     if (opts.inputs.empty())
         usage(2);
+    if (!opts.trace_out.empty() &&
+        (opts.inputs.size() != 1 || opts.compare || opts.sweep_p)) {
+        std::fprintf(stderr, "--trace-out needs exactly one input and "
+                             "no --compare/--sweep-p\n");
+        usage(2);
+    }
+    // Telemetry stays off unless an exporter asked for it, keeping the
+    // default CLI path at the zero-overhead disabled baseline.
+    if (!opts.trace_out.empty() || !opts.metrics_out.empty())
+        opts.compile.telemetry.enabled = true;
     return opts;
 }
 
@@ -194,8 +224,18 @@ printHuman(const CompileReport &report, const CostModel &cost)
                 report.total_seconds);
 }
 
+/** Fold one report's telemetry metrics into the CLI-wide aggregate. */
+void
+mergeReportMetrics(telemetry::MetricsRegistry &metrics,
+                   const CompileReport &report)
+{
+    if (report.telemetry)
+        metrics.merge(report.telemetry->metrics());
+}
+
 int
-runOne(const CliOptions &opts, const std::string &input)
+runOne(const CliOptions &opts, const std::string &input,
+       telemetry::MetricsRegistry &metrics)
 {
     Circuit circuit = loadInput(input);
     if (opts.stats)
@@ -203,7 +243,8 @@ runOne(const CliOptions &opts, const std::string &input)
                     circuit.name().c_str(),
                     analyzeCircuit(circuit).toString().c_str());
     CompileOptions compile = opts.compile;
-    compile.record_trace = opts.json_trace || opts.draw;
+    compile.record_trace =
+        opts.json_trace || opts.draw || !opts.trace_out.empty();
 
     if (opts.defects > 0) {
         const Grid grid = Grid::forQubits(circuit.numQubits());
@@ -226,6 +267,7 @@ runOne(const CliOptions &opts, const std::string &input)
                 p0 = us;
             std::printf("%-10.2f %-8.0f %-12.3f %-8zu\n", p, us,
                         us / p0, rep.result.swaps_inserted);
+            mergeReportMetrics(metrics, rep);
         }
         return 0;
     }
@@ -240,6 +282,11 @@ runOne(const CliOptions &opts, const std::string &input)
         CompileOptions o = compile;
         o.policy = policy;
         const CompileReport report = compileCircuit(circuit, o);
+        mergeReportMetrics(metrics, report);
+        if (!opts.trace_out.empty())
+            writeTextFile(
+                opts.trace_out,
+                telemetry::chromeTraceJson(report, o.cost) + "\n");
         if (opts.json) {
             std::printf("%s\n",
                         viz::reportToJson(report, o.cost,
@@ -282,8 +329,12 @@ runBatch(const CliOptions &opts)
     for (const std::string &input : opts.inputs)
         batch.add(loadInput(input), opts.compile, input);
 
+    const std::vector<BatchResult> results = batch.compileAll();
+    if (!opts.metrics_out.empty())
+        writeTextFile(opts.metrics_out,
+                      aggregateMetrics(results).toJson() + "\n");
     int rc = 0;
-    for (const BatchResult &res : batch.compileAll()) {
+    for (const BatchResult &res : results) {
         if (!res.ok) {
             std::fprintf(stderr, "error: %s: %s\n",
                          res.label.c_str(), res.error.c_str());
@@ -322,11 +373,20 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    telemetry::MetricsRegistry metrics;
     for (const std::string &input : opts.inputs) {
         try {
-            const int rc = runOne(opts, input);
+            const int rc = runOne(opts, input, metrics);
             if (rc != 0)
                 return rc;
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (!opts.metrics_out.empty()) {
+        try {
+            writeTextFile(opts.metrics_out, metrics.toJson() + "\n");
         } catch (const Error &e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
