@@ -113,6 +113,31 @@ BM_InterferenceGraphBuild(benchmark::State &state)
 BENCHMARK(BM_InterferenceGraphBuild)->Arg(64)->Arg(256);
 
 void
+BM_InterferencePeel(benchmark::State &state)
+{
+    // The stack finder's peel loop in isolation: remove max-degree
+    // nodes until the residue has degree <= 2. Buckets in remove()
+    // make this near-linear; the old full-rescan version was quadratic
+    // on dense layers (see docs/benchmarks.md).
+    Grid grid(64, 64);
+    const auto tasks = randomTasks(
+        grid, static_cast<int>(state.range(0)), 7);
+    const InterferenceGraph base(tasks);
+    for (auto _ : state) {
+        // Copying a pre-built graph outside the timed region isolates
+        // the peel from both the O(n^2) bbox construction (covered by
+        // BM_InterferenceGraphBuild) and the O(E) copy itself.
+        state.PauseTiming();
+        InterferenceGraph ig = base;
+        state.ResumeTiming();
+        while (ig.maxDegree() > 2)
+            ig.remove(ig.maxDegreeNodes().front());
+        benchmark::DoNotOptimize(ig);
+    }
+}
+BENCHMARK(BM_InterferencePeel)->Arg(64)->Arg(256)->Arg(1000);
+
+void
 BM_DagBuild(benchmark::State &state)
 {
     const Circuit circuit =

@@ -22,26 +22,48 @@ InterferenceGraph::InterferenceGraph(const std::vector<CxTask> &tasks)
             }
         }
     }
+    for (size_t i = 0; i < tasks.size(); ++i)
+        max_degree_bound_ = std::max(max_degree_bound_, degree_[i]);
+    buckets_.resize(static_cast<size_t>(max_degree_bound_) + 1);
+    live_count_.resize(buckets_.size(), 0);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        buckets_[static_cast<size_t>(degree_[i])].push_back(i);
+        ++live_count_[static_cast<size_t>(degree_[i])];
+    }
+}
+
+void
+InterferenceGraph::compactBucket(int d) const
+{
+    std::vector<size_t> &b = buckets_[static_cast<size_t>(d)];
+    if (b.size() == live_count_[static_cast<size_t>(d)])
+        return; // nothing stale
+    b.erase(std::remove_if(b.begin(), b.end(),
+                           [this, d](size_t n) {
+                               return removed_[n] != 0 ||
+                                      degree_[n] != d;
+                           }),
+            b.end());
 }
 
 int
 InterferenceGraph::maxDegree() const
 {
-    int best = 0;
-    for (size_t i = 0; i < adj_.size(); ++i)
-        if (!removed_[i])
-            best = std::max(best, degree_[i]);
-    return best;
+    while (max_degree_bound_ > 0 &&
+           live_count_[static_cast<size_t>(max_degree_bound_)] == 0)
+        --max_degree_bound_;
+    return max_degree_bound_;
 }
 
 std::vector<size_t>
 InterferenceGraph::maxDegreeNodes() const
 {
     const int best = maxDegree();
-    std::vector<size_t> nodes;
-    for (size_t i = 0; i < adj_.size(); ++i)
-        if (!removed_[i] && degree_[i] == best)
-            nodes.push_back(i);
+    compactBucket(best);
+    std::vector<size_t> nodes = buckets_[static_cast<size_t>(best)];
+    // Lazy decrements append out of index order; callers tie-break on
+    // ascending indices, so restore that ordering here.
+    std::sort(nodes.begin(), nodes.end());
     return nodes;
 }
 
@@ -52,9 +74,14 @@ InterferenceGraph::remove(size_t i)
             "InterferenceGraph::remove: bad node");
     removed_[i] = 1;
     --active_count_;
+    --live_count_[static_cast<size_t>(degree_[i])];
     for (size_t n : adj_[i])
-        if (!removed_[n])
+        if (!removed_[n]) {
+            --live_count_[static_cast<size_t>(degree_[n])];
             --degree_[n];
+            buckets_[static_cast<size_t>(degree_[n])].push_back(n);
+            ++live_count_[static_cast<size_t>(degree_[n])];
+        }
     degree_[i] = 0;
 }
 

@@ -7,6 +7,15 @@
  * removes the maximum-degree node (ties broken by largest bounding-box
  * area) until the maximum degree is <= 2 — a relaxation of the LLG size-3
  * condition of Theorem 1.
+ *
+ * Degrees only ever decrease after construction, so the maximum-degree
+ * queries are served from per-degree buckets with lazy deletion: each
+ * degree decrement appends the node to its new bucket, stale entries
+ * are skipped when a bucket is drained, and the max-degree bound only
+ * moves downward. That makes a full peel O(n + E) in bucket work where
+ * the previous implementation rescanned every node per removal
+ * (quadratic on the dense all-to-all layers the Maslov fallback
+ * targets).
  */
 
 #ifndef AUTOBRAID_ROUTE_INTERFERENCE_HPP
@@ -41,7 +50,10 @@ class InterferenceGraph
     /** Largest degree among remaining nodes (0 when empty). */
     int maxDegree() const;
 
-    /** All remaining nodes with the current maximum degree. */
+    /**
+     * All remaining nodes with the current maximum degree, in
+     * ascending index order (callers tie-break on this ordering).
+     */
     std::vector<size_t> maxDegreeNodes() const;
 
     /** Remove node @p i, updating neighbour degrees. */
@@ -60,10 +72,25 @@ class InterferenceGraph
     std::vector<size_t> activeNodes() const;
 
   private:
+    /** Drop stale entries from bucket @p d (lazy-deletion sweep). */
+    void compactBucket(int d) const;
+
     std::vector<std::vector<size_t>> adj_;
     std::vector<int> degree_;
     std::vector<uint8_t> removed_;
     size_t active_count_ = 0;
+    // buckets_[d] holds every node whose degree was ever exactly d; an
+    // entry is live iff the node is still present and still at degree
+    // d. A node's degree strictly decreases, so it appears at most
+    // once per bucket and total bucket work is O(n + E) per peel.
+    // live_count_[d] tracks the number of live entries exactly, so
+    // maxDegree() is an O(1) amortized bound walk and only
+    // maxDegreeNodes() ever touches bucket contents. Mutable: the
+    // max-degree queries are logically const but lower the cached
+    // bound and purge stale entries as they go.
+    mutable std::vector<std::vector<size_t>> buckets_;
+    std::vector<size_t> live_count_;
+    mutable int max_degree_bound_ = 0;
 };
 
 } // namespace autobraid

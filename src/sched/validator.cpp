@@ -32,26 +32,62 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
                  size_t max_errors)
 {
     ValidationReport report;
-    auto fail = [&report, max_errors](std::string msg) {
+    // Failures past max_errors still flip `ok` but are counted instead
+    // of stored; a summary entry is appended at the end so a truncated
+    // report is never mistaken for a single-defect one.
+    size_t suppressed = 0;
+    auto fail = [&report, &suppressed, max_errors](std::string msg) {
         if (report.errors.size() < max_errors)
             report.fail(std::move(msg));
-        else
+        else {
             report.ok = false;
+            ++suppressed;
+        }
+    };
+    auto finish = [&report, &suppressed]() -> ValidationReport {
+        if (suppressed > 0)
+            report.errors.push_back(
+                strformat("... suppressed %zu additional errors",
+                          suppressed));
+        return std::move(report);
     };
 
     if (!result.valid) {
         fail("result is marked invalid");
-        return report;
+        return finish();
     }
     if (result.trace.empty()) {
         fail("no trace recorded; enable SchedulerConfig::record_trace");
-        return report;
+        return finish();
     }
 
-    // 1. Coverage: every gate exactly once; swaps accounted.
+    // 1. Coverage: every gate exactly once; swaps accounted. Time
+    //    windows must be ordered *before* anything subtracts them:
+    //    finish - start on Cycles (uint64_t) wraps to a huge bogus
+    //    duration when a buggy trace has finish < start.
     std::map<GateIdx, const TraceEntry *> by_gate;
     size_t swap_entries = 0;
-    for (const TraceEntry &e : result.trace) {
+    size_t braid_entries = 0;
+    for (size_t i = 0; i < result.trace.size(); ++i) {
+        const TraceEntry &e = result.trace[i];
+        if (e.finish < e.start)
+            fail(strformat("trace entry %zu: finish %llu precedes "
+                           "start %llu",
+                           i,
+                           static_cast<unsigned long long>(e.finish),
+                           static_cast<unsigned long long>(e.start)));
+        if (e.channel_release > 0 &&
+            (e.channel_release > e.finish ||
+             e.channel_release < e.start))
+            fail(strformat("trace entry %zu: channel release %llu "
+                           "outside window [%llu, %llu]",
+                           i,
+                           static_cast<unsigned long long>(
+                               e.channel_release),
+                           static_cast<unsigned long long>(e.start),
+                           static_cast<unsigned long long>(e.finish)));
+        if (e.gate != kNoGate && !e.path.empty())
+            ++braid_entries;
         if (e.gate == kNoGate) {
             ++swap_entries;
             if (e.swap_a == kNoQubit || e.swap_b == kNoQubit)
@@ -79,9 +115,13 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
                        swap_entries, result.swaps_inserted));
 
     // 2. Durations and makespan.
+    Cycles last_gate_finish = 0;
     for (const auto &[g, e] : by_gate) {
         const Gate &gate = circuit.gate(g);
         const Cycles want = cost.duration(gate);
+        last_gate_finish = std::max(last_gate_finish, e->finish);
+        if (e->finish < e->start)
+            continue; // already reported; subtraction would wrap
         if (e->finish - e->start != want)
             fail(strformat("gate %zu (%s): duration %llu, expected "
                            "%llu",
@@ -98,6 +138,23 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
                                result.makespan)));
         if (needsBraid(gate.kind) && e->path.empty())
             fail(strformat("braid gate %zu has no path", g));
+    }
+    // When the trace is complete these counters must agree exactly:
+    // the makespan is defined as the last gate retirement (swap
+    // entries may legitimately finish later), and every routed braid
+    // leaves exactly one gate entry carrying a path.
+    if (by_gate.size() == circuit.size() && circuit.size() > 0) {
+        if (last_gate_finish != result.makespan)
+            fail(strformat("last gate finishes at %llu but makespan "
+                           "is %llu",
+                           static_cast<unsigned long long>(
+                               last_gate_finish),
+                           static_cast<unsigned long long>(
+                               result.makespan)));
+        if (braid_entries != result.braids_routed)
+            fail(strformat("trace has %zu braid entries but result "
+                           "reports %zu routed",
+                           braid_entries, result.braids_routed));
     }
 
     // 3. Dependence order.
@@ -184,7 +241,7 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
             }
         }
     }
-    return report;
+    return finish();
 }
 
 } // namespace autobraid

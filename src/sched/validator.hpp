@@ -3,12 +3,15 @@
  * Schedule validation.
  *
  * Checks a traced schedule against the surface-code braiding rules:
- * every gate scheduled exactly once, durations consistent with the
- * cost model, dependence order respected, braid paths well-formed and
- * anchored at the operand tiles' corners, and temporally overlapping
- * braids vertex-disjoint. Downstream users can run any third-party
- * schedule through this before trusting it; the test suite runs every
- * scheduler mode through it.
+ * every gate scheduled exactly once, time windows ordered (finish >=
+ * start) with channel releases inside them, durations consistent with
+ * the cost model, the reported makespan and braid count exact,
+ * dependence order respected, braid paths well-formed and anchored at
+ * the operand tiles' corners, and temporally overlapping braids
+ * vertex-disjoint. Downstream users can run any third-party schedule
+ * through this before trusting it; the test suite and the
+ * differential fuzz harness (src/testing/) run every scheduler mode
+ * through it.
  */
 
 #ifndef AUTOBRAID_SCHED_VALIDATOR_HPP
@@ -43,7 +46,10 @@ struct ValidationReport
  * the placement changed dynamically (SWAP insertion) and per-gate tile
  * locations at issue time are not reconstructible.
  *
- * @param max_errors stop after this many failures.
+ * @param max_errors store at most this many failure messages. Later
+ *        failures still flip `ok` and are tallied in a final
+ *        "... suppressed N additional errors" entry so a truncated
+ *        report is never mistaken for an exhaustive one.
  */
 ValidationReport validateSchedule(const Circuit &circuit,
                                   const ScheduleResult &result,

@@ -1,0 +1,317 @@
+#include "testing/differential.hpp"
+
+#include <exception>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "compiler/batch.hpp"
+#include "place/placement.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/validator.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace autobraid {
+namespace fuzz {
+
+namespace {
+
+struct MaskedPolicy
+{
+    unsigned bit;
+    SchedulerPolicy policy;
+};
+
+constexpr MaskedPolicy kPolicies[] = {
+    {kMaskBaseline, SchedulerPolicy::Baseline},
+    {kMaskAutobraidSP, SchedulerPolicy::AutobraidSP},
+    {kMaskAutobraidFull, SchedulerPolicy::AutobraidFull},
+};
+
+} // namespace
+
+unsigned
+parsePolicyMask(const std::string &text)
+{
+    if (!text.empty() &&
+        text.find_first_not_of("0123456789") == std::string::npos) {
+        const unsigned mask =
+            static_cast<unsigned>(std::stoul(text)) & kMaskAll;
+        if (mask == 0)
+            throw UserError("policy mask selects no policies: " +
+                            text);
+        return mask;
+    }
+    unsigned mask = 0;
+    for (const std::string &name : split(text, ',')) {
+        if (name == "baseline")
+            mask |= kMaskBaseline;
+        else if (name == "sp")
+            mask |= kMaskAutobraidSP;
+        else if (name == "full")
+            mask |= kMaskAutobraidFull;
+        else if (name == "all")
+            mask |= kMaskAll;
+        else
+            throw UserError(
+                "unknown policy '" + name +
+                "' (expected baseline, sp, full, or all)");
+    }
+    if (mask == 0)
+        throw UserError("policy mask selects no policies: " + text);
+    return mask;
+}
+
+std::string
+policyMaskName(unsigned mask)
+{
+    std::string out;
+    for (const MaskedPolicy &p : kPolicies) {
+        if (!(mask & p.bit))
+            continue;
+        if (!out.empty())
+            out += ",";
+        out += p.bit == kMaskBaseline     ? "baseline"
+               : p.bit == kMaskAutobraidSP ? "sp"
+                                           : "full";
+    }
+    return out.empty() ? "none" : out;
+}
+
+std::string
+DifferentialResult::toString() const
+{
+    std::string out;
+    for (const std::string &f : failures) {
+        if (!out.empty())
+            out += "\n";
+        out += f;
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Validate one compiled policy run and append invariant breaches.
+ * @p grid is used for path-geometry checks only when the placement
+ * stayed static (no SWAPs), exactly like the pipeline's ValidatePass.
+ */
+void
+checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
+               std::vector<std::string> &failures)
+{
+    const char *name = policyName(run.policy);
+    auto fail = [&failures, &c, name](std::string what) {
+        failures.push_back(strformat("[%s] %s — %s", name,
+                                     what.c_str(),
+                                     c.summary().c_str()));
+    };
+    if (!run.compiled) {
+        fail("compile threw: " + run.error);
+        return;
+    }
+    const ScheduleResult &r = run.report.result;
+    if (!r.valid) {
+        fail("result marked invalid");
+        return;
+    }
+    const Grid grid = Grid::forQubits(c.circuit.numQubits());
+    const Grid *geometry = r.swaps_inserted == 0 ? &grid : nullptr;
+    const ValidationReport v = validateSchedule(
+        c.circuit, r, c.options.cost, geometry);
+    if (!v.ok) {
+        AUTOBRAID_COUNT("fuzz.validator_failures");
+        fail("validator: " + v.toString());
+    }
+    if (r.gates_scheduled != c.circuit.size())
+        fail(strformat("retired %zu of %zu gates",
+                       r.gates_scheduled, c.circuit.size()));
+    if (r.makespan < run.report.critical_path)
+        fail(strformat("makespan %llu below critical path %llu",
+                       static_cast<unsigned long long>(r.makespan),
+                       static_cast<unsigned long long>(
+                           run.report.critical_path)));
+}
+
+} // namespace
+
+DifferentialResult
+runDifferentialCase(const FuzzCase &c, unsigned mask)
+{
+    AUTOBRAID_SPAN("fuzz.differential_case");
+    DifferentialResult out;
+    out.seed = c.seed;
+    for (const MaskedPolicy &p : kPolicies) {
+        if (!(mask & p.bit))
+            continue;
+        PolicyOutcome run;
+        run.policy = p.policy;
+        CompileOptions opt = c.options;
+        opt.policy = p.policy;
+        opt.record_trace = true;
+        try {
+            run.report = compileCircuit(c.circuit, opt);
+            run.compiled = true;
+        } catch (const std::exception &e) {
+            run.error = e.what();
+        }
+        AUTOBRAID_COUNT("fuzz.policy_runs");
+        checkPolicyRun(c, run, out.failures);
+        out.runs.push_back(std::move(run));
+    }
+    // Cross-policy: all policies must agree on the dependence-derived
+    // critical path (the retired gate sets already agree — each valid
+    // run covers the full circuit, enforced above).
+    for (size_t i = 1; i < out.runs.size(); ++i) {
+        const PolicyOutcome &a = out.runs[0];
+        const PolicyOutcome &b = out.runs[i];
+        if (a.compiled && b.compiled &&
+            a.report.critical_path != b.report.critical_path)
+            out.failures.push_back(strformat(
+                "[%s vs %s] critical path disagrees: %llu vs %llu — "
+                "%s",
+                policyName(a.policy), policyName(b.policy),
+                static_cast<unsigned long long>(a.report.critical_path),
+                static_cast<unsigned long long>(b.report.critical_path),
+                c.summary().c_str()));
+    }
+    out.ok = out.failures.empty();
+    if (!out.ok)
+        AUTOBRAID_COUNT("fuzz.failed_cases");
+    return out;
+}
+
+std::vector<std::string>
+checkBatchDeterminism(const FuzzCase &c, unsigned mask, int threads)
+{
+    AUTOBRAID_SPAN("fuzz.batch_determinism");
+    auto runBatch = [&](int workers) {
+        BatchOptions bopt;
+        bopt.threads = workers;
+        bopt.derive_seeds = false; // keep the case's own seed
+        BatchCompiler batch(bopt);
+        for (const MaskedPolicy &p : kPolicies) {
+            if (!(mask & p.bit))
+                continue;
+            CompileOptions opt = c.options;
+            opt.policy = p.policy;
+            opt.record_trace = true;
+            batch.add(c.circuit, opt,
+                      strformat("%s/%s", c.circuit.name().c_str(),
+                                policyName(p.policy)));
+        }
+        return batch.compileAll();
+    };
+    const auto serial = runBatch(1);
+    const auto parallel = runBatch(threads);
+    std::vector<std::string> failures;
+    if (serial.size() != parallel.size()) {
+        failures.push_back("batch result counts differ");
+        return failures;
+    }
+    for (size_t i = 0; i < serial.size(); ++i) {
+        if (serial[i].ok != parallel[i].ok) {
+            failures.push_back(strformat(
+                "[%s] jobs=1 ok=%d but jobs=%d ok=%d — %s",
+                serial[i].label.c_str(), serial[i].ok ? 1 : 0,
+                threads, parallel[i].ok ? 1 : 0,
+                c.summary().c_str()));
+            continue;
+        }
+        if (serial[i].ok &&
+            serial[i].report.metricsSummary() !=
+                parallel[i].report.metricsSummary())
+            failures.push_back(strformat(
+                "[%s] jobs=1 vs jobs=%d metrics summaries diverge — "
+                "%s",
+                serial[i].label.c_str(), threads,
+                c.summary().c_str()));
+    }
+    return failures;
+}
+
+DifferentialResult
+runDegenerateGridCase(uint64_t seed, unsigned mask)
+{
+    AUTOBRAID_SPAN("fuzz.degenerate_case");
+    Rng rng(seed ^ 0xdead'1a77'1ceeULL);
+    DifferentialResult out;
+    out.seed = seed;
+
+    // A strip lattice the pipeline's square Grid::forQubits never
+    // exercises, with two spare cells so the layout optimizer has
+    // somewhere to move qubits.
+    const int qubits = rng.intIn(2, 8);
+    const bool horizontal = rng.chance(0.5);
+    const int cells = qubits + 2;
+    const Grid grid = horizontal ? Grid(1, cells) : Grid(cells, 1);
+
+    FuzzCircuitOptions copt;
+    copt.num_qubits = qubits;
+    copt.num_gates = rng.intIn(1, 30);
+    copt.cx_fraction = 0.6;
+    Circuit circuit = makeFuzzCircuit(FuzzShape::Chain, copt, rng);
+    circuit.setName(strformat("fuzz-strip-%llu",
+                              static_cast<unsigned long long>(seed)));
+
+    FuzzCase shim;
+    shim.seed = seed;
+    shim.shape = FuzzShape::Chain;
+    shim.circuit = circuit;
+
+    const Placement placement(grid, qubits);
+    for (const MaskedPolicy &p : kPolicies) {
+        if (!(mask & p.bit))
+            continue;
+        SchedulerConfig config;
+        config.policy = p.policy;
+        config.seed = seed;
+        config.record_trace = true;
+        PolicyOutcome run;
+        run.policy = p.policy;
+        try {
+            const BraidScheduler sched(circuit, grid, config);
+            ScheduleResult r = sched.run(placement);
+            run.compiled = true;
+            run.report.result = std::move(r);
+            run.report.circuit_name = circuit.name();
+            run.report.policy = p.policy;
+        } catch (const std::exception &e) {
+            run.error = e.what();
+        }
+        const char *name = policyName(p.policy);
+        if (!run.compiled) {
+            out.failures.push_back(strformat(
+                "[%s] strip grid %dx%d: scheduler threw: %s", name,
+                grid.rows(), grid.cols(), run.error.c_str()));
+        } else {
+            const ScheduleResult &r = run.report.result;
+            if (!r.valid) {
+                out.failures.push_back(strformat(
+                    "[%s] strip grid %dx%d: result invalid", name,
+                    grid.rows(), grid.cols()));
+            } else {
+                const Grid *geometry =
+                    r.swaps_inserted == 0 ? &grid : nullptr;
+                const ValidationReport v = validateSchedule(
+                    circuit, r, config.cost, geometry);
+                if (!v.ok) {
+                    AUTOBRAID_COUNT("fuzz.validator_failures");
+                    out.failures.push_back(strformat(
+                        "[%s] strip grid %dx%d seed %llu: %s", name,
+                        grid.rows(), grid.cols(),
+                        static_cast<unsigned long long>(seed),
+                        v.toString().c_str()));
+                }
+            }
+        }
+        out.runs.push_back(std::move(run));
+    }
+    out.ok = out.failures.empty();
+    if (!out.ok)
+        AUTOBRAID_COUNT("fuzz.failed_cases");
+    return out;
+}
+
+} // namespace fuzz
+} // namespace autobraid

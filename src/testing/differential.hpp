@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Differential oracle: compile one fuzz case under every scheduler
+ * policy and cross-check the results.
+ *
+ * Per policy, the schedule must pass the strengthened
+ * validateSchedule (time-window ordering, durations, coverage, exact
+ * makespan and braid counts, dependence order, vertex-disjointness per
+ * time window) and retire every circuit gate with a makespan no
+ * shorter than the dependence-weighted critical path. Across
+ * policies, the retired gate set must be identical (the whole
+ * circuit) and the reported critical path must agree. A separate
+ * check compiles the same case through BatchCompiler on 1 worker and
+ * on N workers and requires byte-identical metricsSummary() output.
+ */
+
+#ifndef AUTOBRAID_TESTING_DIFFERENTIAL_HPP
+#define AUTOBRAID_TESTING_DIFFERENTIAL_HPP
+
+#include <string>
+#include <vector>
+
+#include "compiler/driver.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace autobraid {
+namespace fuzz {
+
+/** Policy-mask bits for selecting which policies to cross-check. */
+enum PolicyMask : unsigned
+{
+    kMaskBaseline = 1u,      ///< SchedulerPolicy::Baseline
+    kMaskAutobraidSP = 2u,   ///< SchedulerPolicy::AutobraidSP
+    kMaskAutobraidFull = 4u, ///< SchedulerPolicy::AutobraidFull
+    kMaskAll = 7u,
+};
+
+/**
+ * Parse a policy mask: either a number ("7") or a comma-separated
+ * list of names from {baseline, sp, full, all}. Throws UserError on
+ * unknown names or an empty mask.
+ */
+unsigned parsePolicyMask(const std::string &text);
+
+/** Render a mask back as a name list ("baseline,sp,full"). */
+std::string policyMaskName(unsigned mask);
+
+/** One policy's compilation within a differential run. */
+struct PolicyOutcome
+{
+    SchedulerPolicy policy = SchedulerPolicy::Baseline;
+    bool compiled = false;  ///< compileCircuit returned (vs. threw)
+    std::string error;      ///< exception text when !compiled
+    CompileReport report;
+};
+
+/** Outcome of one differential case. */
+struct DifferentialResult
+{
+    uint64_t seed = 0;
+    bool ok = true;
+    std::vector<std::string> failures;
+    std::vector<PolicyOutcome> runs;
+
+    /** Failure list joined with newlines ("" when ok). */
+    std::string toString() const;
+};
+
+/** Compile @p c under every policy in @p mask and cross-check. */
+DifferentialResult runDifferentialCase(const FuzzCase &c,
+                                       unsigned mask = kMaskAll);
+
+/**
+ * Compile the case's policy variants through BatchCompiler with 1
+ * worker and with @p threads workers (seed derivation off) and return
+ * any metricsSummary() mismatches. Empty = deterministic.
+ */
+std::vector<std::string> checkBatchDeterminism(const FuzzCase &c,
+                                               unsigned mask = kMaskAll,
+                                               int threads = 4);
+
+/**
+ * Degenerate-lattice case: drive BraidScheduler directly on strip
+ * grids (1xN / Nx1) that Grid::forQubits never produces, with chain
+ * traffic and an identity placement, validating each policy's trace
+ * against the strip grid.
+ */
+DifferentialResult runDegenerateGridCase(uint64_t seed,
+                                         unsigned mask = kMaskAll);
+
+} // namespace fuzz
+} // namespace autobraid
+
+#endif // AUTOBRAID_TESTING_DIFFERENTIAL_HPP

@@ -1,0 +1,238 @@
+#include "testing/fuzzer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "lattice/defects.hpp"
+
+namespace autobraid {
+namespace fuzz {
+
+const char *
+shapeName(FuzzShape shape)
+{
+    switch (shape) {
+      case FuzzShape::Mixed: return "mixed";
+      case FuzzShape::Skewed: return "skewed";
+      case FuzzShape::AllToAllLayers: return "all-to-all";
+      case FuzzShape::Chain: return "chain";
+      case FuzzShape::FanoutTree: return "fanout-tree";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Random 1-qubit gate from the fault-tolerant basis. */
+void
+addOneQubit(Circuit &c, Qubit q, Rng &rng)
+{
+    switch (rng.index(6)) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.t(q); break;
+      case 3: c.x(q); break;
+      case 4: c.z(q); break;
+      default: c.tdg(q); break;
+    }
+}
+
+/** Distinct random partner for @p a on @p n qubits. */
+Qubit
+partner(Qubit a, int n, Rng &rng)
+{
+    Qubit b = static_cast<Qubit>(rng.index(static_cast<size_t>(n)));
+    if (b == a)
+        b = static_cast<Qubit>((a + 1) % n);
+    return b;
+}
+
+void
+fillMixed(Circuit &c, const FuzzCircuitOptions &opt, Rng &rng)
+{
+    const int n = opt.num_qubits;
+    while (static_cast<int>(c.size()) < opt.num_gates) {
+        const Qubit a =
+            static_cast<Qubit>(rng.index(static_cast<size_t>(n)));
+        if (rng.chance(opt.cx_fraction))
+            c.cx(a, partner(a, n, rng));
+        else
+            addOneQubit(c, a, rng);
+    }
+}
+
+void
+fillSkewed(Circuit &c, const FuzzCircuitOptions &opt, Rng &rng)
+{
+    const int n = opt.num_qubits;
+    const int hubs = std::max(1, n / 6);
+    while (static_cast<int>(c.size()) < opt.num_gates) {
+        if (rng.chance(opt.cx_fraction)) {
+            // Most CXs touch a hub: a skewed interaction graph whose
+            // bounding boxes pile onto the same lattice region.
+            const Qubit a = static_cast<Qubit>(
+                rng.chance(0.8) ? rng.index(static_cast<size_t>(hubs))
+                                : rng.index(static_cast<size_t>(n)));
+            c.cx(a, partner(a, n, rng));
+        } else {
+            addOneQubit(
+                c,
+                static_cast<Qubit>(rng.index(static_cast<size_t>(n))),
+                rng);
+        }
+    }
+}
+
+void
+fillAllToAllLayers(Circuit &c, const FuzzCircuitOptions &opt, Rng &rng)
+{
+    const int n = opt.num_qubits;
+    std::vector<Qubit> order(static_cast<size_t>(n));
+    for (int q = 0; q < n; ++q)
+        order[static_cast<size_t>(q)] = static_cast<Qubit>(q);
+    while (static_cast<int>(c.size()) < opt.num_gates) {
+        // One dense layer: shuffle and pair consecutive qubits, so
+        // over a few layers the coupling graph approaches all-to-all.
+        rng.shuffle(order);
+        for (size_t i = 0; i + 1 < order.size() &&
+                           static_cast<int>(c.size()) < opt.num_gates;
+             i += 2)
+            c.cx(order[i], order[i + 1]);
+        if (static_cast<int>(c.size()) < opt.num_gates &&
+            rng.chance(0.3))
+            addOneQubit(
+                c,
+                static_cast<Qubit>(rng.index(static_cast<size_t>(n))),
+                rng);
+    }
+}
+
+void
+fillChain(Circuit &c, const FuzzCircuitOptions &opt, Rng &rng)
+{
+    const int n = opt.num_qubits;
+    int pos = rng.intIn(0, n - 2);
+    while (static_cast<int>(c.size()) < opt.num_gates) {
+        if (rng.chance(opt.cx_fraction)) {
+            c.cx(static_cast<Qubit>(pos), static_cast<Qubit>(pos + 1));
+            // Random walk along the chain.
+            pos += rng.chance(0.5) ? 1 : -1;
+            pos = std::clamp(pos, 0, n - 2);
+        } else {
+            addOneQubit(c, static_cast<Qubit>(pos), rng);
+        }
+    }
+}
+
+void
+fillFanoutTree(Circuit &c, const FuzzCircuitOptions &opt, Rng &rng)
+{
+    const int n = opt.num_qubits;
+    while (static_cast<int>(c.size()) < opt.num_gates) {
+        // Binary-tree edges (parent -> child) give strictly nested
+        // interaction boxes, the Theorem 2 scenario.
+        for (int child = 1;
+             child < n && static_cast<int>(c.size()) < opt.num_gates;
+             ++child)
+            c.cx(static_cast<Qubit>((child - 1) / 2),
+                 static_cast<Qubit>(child));
+        if (static_cast<int>(c.size()) < opt.num_gates &&
+            rng.chance(0.4))
+            addOneQubit(
+                c,
+                static_cast<Qubit>(rng.index(static_cast<size_t>(n))),
+                rng);
+    }
+}
+
+} // namespace
+
+Circuit
+makeFuzzCircuit(FuzzShape shape, const FuzzCircuitOptions &opt,
+                Rng &rng)
+{
+    require(opt.num_qubits >= 2,
+            "fuzz circuits need at least 2 qubits");
+    require(opt.num_gates >= 1,
+            "fuzz circuits need at least 1 gate (empty traces do not "
+            "validate)");
+    Circuit c(opt.num_qubits, strformat("fuzz-%s", shapeName(shape)));
+    switch (shape) {
+      case FuzzShape::Mixed: fillMixed(c, opt, rng); break;
+      case FuzzShape::Skewed: fillSkewed(c, opt, rng); break;
+      case FuzzShape::AllToAllLayers:
+          fillAllToAllLayers(c, opt, rng);
+          break;
+      case FuzzShape::Chain: fillChain(c, opt, rng); break;
+      case FuzzShape::FanoutTree: fillFanoutTree(c, opt, rng); break;
+    }
+    return c;
+}
+
+std::string
+FuzzCase::summary() const
+{
+    return strformat("seed %llu: %s, %d qubits, %zu gates, p=%.1f, "
+                     "hold=%llu, defects=%zu%s%s",
+                     static_cast<unsigned long long>(seed),
+                     shapeName(shape), circuit.numQubits(),
+                     circuit.size(), options.p_threshold,
+                     static_cast<unsigned long long>(
+                         options.channel_hold_cycles),
+                     options.dead_vertices.size(),
+                     options.best_of_p0 ? "" : ", no-best-of-p0",
+                     options.allow_maslov ? "" : ", no-maslov");
+}
+
+FuzzCase
+makeFuzzCase(uint64_t seed)
+{
+    Rng rng(seed * 0x9e37'79b9'7f4a'7c15ULL + 0xab1dULL);
+    FuzzCase out;
+    out.seed = seed;
+    // Rotate shapes with the seed so any contiguous block covers all
+    // families; the remaining knobs are independent draws.
+    out.shape = static_cast<FuzzShape>(
+        seed % static_cast<uint64_t>(kNumFuzzShapes));
+
+    FuzzCircuitOptions copt;
+    copt.num_qubits = rng.intIn(2, 20);
+    copt.num_gates = rng.intIn(1, 90);
+    copt.cx_fraction = 0.3 + 0.5 * rng.uniform();
+    out.circuit = makeFuzzCircuit(out.shape, copt, rng);
+    out.circuit.setName(
+        strformat("fuzz-%s-%llu", shapeName(out.shape),
+                  static_cast<unsigned long long>(seed)));
+
+    CompileOptions &opt = out.options;
+    opt.record_trace = true;
+    opt.seed = seed;
+    switch (rng.index(3)) {
+      case 0: opt.p_threshold = 0.0; break;
+      case 1: opt.p_threshold = 0.3; break;
+      default: opt.p_threshold = 0.9; break;
+    }
+    opt.best_of_p0 = rng.chance(0.5);
+    opt.allow_maslov = !rng.chance(0.2);
+    if (rng.chance(0.25))
+        opt.channel_hold_cycles = static_cast<Cycles>(rng.intIn(1, 6));
+    switch (rng.index(4)) {
+      case 0: opt.baseline_order = GreedyOrder::Distance; break;
+      case 1: opt.baseline_order = GreedyOrder::Program; break;
+      case 2: opt.baseline_order = GreedyOrder::Largest; break;
+      default: opt.baseline_order = GreedyOrder::Criticality; break;
+    }
+    if (rng.chance(0.3)) {
+        // Dead-vertex lattices: sample defects on the same grid the
+        // pipeline will use, so CompileOptions::validate accepts them.
+        const Grid grid = Grid::forQubits(out.circuit.numQubits());
+        opt.dead_vertices =
+            DefectMap::random(grid, rng.intIn(1, 4), rng)
+                .deadVertices();
+    }
+    return out;
+}
+
+} // namespace fuzz
+} // namespace autobraid

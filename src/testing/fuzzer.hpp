@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Seeded random-circuit generation for the differential fuzz harness.
+ *
+ * Each seed deterministically expands into one FuzzCase: a circuit
+ * drawn from one of several adversarial shape families (mixed
+ * Clifford+T traffic, hub-skewed interaction graphs, all-to-all CX
+ * layers that bait the Maslov fallback, nearest-neighbour chains,
+ * fan-out trees) plus a CompileOptions draw that varies the
+ * p-threshold, channel-hold mode, baseline ordering, and lattice
+ * defects. The same seed always produces the same case, so every red
+ * run is replayable from its seed alone.
+ */
+
+#ifndef AUTOBRAID_TESTING_FUZZER_HPP
+#define AUTOBRAID_TESTING_FUZZER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "compiler/options.hpp"
+
+namespace autobraid {
+namespace fuzz {
+
+/** Adversarial circuit shape families. */
+enum class FuzzShape
+{
+    Mixed,          ///< uniform CX/T/S/H traffic on random pairs
+    Skewed,         ///< a few hub qubits dominate the interaction graph
+    AllToAllLayers, ///< dense shuffled-pairing CX layers (Maslov bait)
+    Chain,          ///< nearest-neighbour CX walks (Ising-like)
+    FanoutTree,     ///< one root fans out over a tree (nested bboxes)
+};
+
+/** Number of shape families (for round-robin seed schedules). */
+constexpr int kNumFuzzShapes = 5;
+
+/** Short name for logs and reproducer labels. */
+const char *shapeName(FuzzShape shape);
+
+/** Size knobs for one generated circuit. */
+struct FuzzCircuitOptions
+{
+    int num_qubits = 8;      ///< >= 2
+    int num_gates = 40;      ///< >= 1 (empty circuits have no trace)
+    double cx_fraction = 0.5;
+};
+
+/** Generate one circuit of @p shape from @p rng. */
+Circuit makeFuzzCircuit(FuzzShape shape, const FuzzCircuitOptions &opt,
+                        Rng &rng);
+
+/** One fully expanded fuzz case. */
+struct FuzzCase
+{
+    uint64_t seed = 0;
+    FuzzShape shape = FuzzShape::Mixed;
+    Circuit circuit{2, "fuzz"};
+    /** Base options; the differential oracle overrides `policy`. */
+    CompileOptions options;
+
+    /** One-line description for failure logs. */
+    std::string summary() const;
+};
+
+/**
+ * Expand @p seed into a case. Shapes rotate with the seed so any
+ * contiguous seed block covers every family; circuit size, option
+ * draws, and defect placement all derive from the seed.
+ */
+FuzzCase makeFuzzCase(uint64_t seed);
+
+} // namespace fuzz
+} // namespace autobraid
+
+#endif // AUTOBRAID_TESTING_FUZZER_HPP

@@ -1,0 +1,88 @@
+#include "testing/shrinker.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace autobraid {
+namespace fuzz {
+
+Circuit
+circuitPrefix(const Circuit &circuit, size_t count)
+{
+    require(count <= circuit.size(), "prefix longer than circuit");
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (size_t i = 0; i < count; ++i)
+        out.add(circuit.gate(i));
+    return out;
+}
+
+namespace {
+
+/** Copy of @p circuit with gate @p victim removed. */
+Circuit
+withoutGate(const Circuit &circuit, size_t victim)
+{
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (size_t i = 0; i < circuit.size(); ++i)
+        if (i != victim)
+            out.add(circuit.gate(i));
+    return out;
+}
+
+} // namespace
+
+ShrinkOutcome
+shrinkCircuit(const Circuit &input, const FailPredicate &fails,
+              ShrinkOptions opt)
+{
+    AUTOBRAID_SPAN("fuzz.shrink");
+    ShrinkOutcome out;
+    out.original_gates = input.size();
+    out.circuit = input;
+
+    auto budgetLeft = [&out, &opt]() {
+        return out.checks < opt.max_checks;
+    };
+    auto check = [&out, &fails](const Circuit &c) {
+        ++out.checks;
+        return fails(c);
+    };
+
+    // Phase 1: shortest failing prefix by bisection. The search is a
+    // heuristic (failures need not be monotone in prefix length); the
+    // candidate is re-verified before being adopted, so a non-monotone
+    // failure can only cost shrink quality, never soundness.
+    if (out.circuit.size() > 1 && budgetLeft()) {
+        size_t lo = 1, hi = out.circuit.size();
+        while (lo < hi && budgetLeft()) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if (check(circuitPrefix(out.circuit, mid)))
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        if (lo < out.circuit.size() && budgetLeft()) {
+            Circuit candidate = circuitPrefix(out.circuit, lo);
+            if (check(candidate))
+                out.circuit = std::move(candidate);
+        }
+    }
+
+    // Phase 2: greedy backward gate deletion — later gates first, so
+    // dependence suffixes disappear before the gates they depend on.
+    for (size_t i = out.circuit.size(); i-- > 0 && budgetLeft();) {
+        if (out.circuit.size() <= 1)
+            break;
+        Circuit candidate = withoutGate(out.circuit, i);
+        if (check(candidate))
+            out.circuit = std::move(candidate);
+    }
+
+    out.final_gates = out.circuit.size();
+    AUTOBRAID_COUNT("fuzz.shrink_checks",
+                    static_cast<long long>(out.checks));
+    return out;
+}
+
+} // namespace fuzz
+} // namespace autobraid

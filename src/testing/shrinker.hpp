@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Failing-seed shrinking: reduce a failing circuit to a minimal
+ * reproducer.
+ *
+ * Two phases under a shared check budget: a binary search over circuit
+ * prefixes finds the shortest failing prefix, then a greedy backward
+ * sweep deletes every gate whose removal keeps the failure alive. The
+ * qubit count is never changed — derived options (grid size, defect
+ * lists) stay valid for the shrunken circuit, so the reproducer
+ * replays through the exact same configuration that failed.
+ */
+
+#ifndef AUTOBRAID_TESTING_SHRINKER_HPP
+#define AUTOBRAID_TESTING_SHRINKER_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+namespace fuzz {
+
+/** Returns true when @p circuit still reproduces the failure. */
+using FailPredicate = std::function<bool(const Circuit &)>;
+
+/** Shrink budget and switches. */
+struct ShrinkOptions
+{
+    /** Maximum predicate evaluations across both phases. */
+    size_t max_checks = 256;
+};
+
+/** Result of one shrink run. */
+struct ShrinkOutcome
+{
+    Circuit circuit{2, "shrunk"};
+    size_t checks = 0;        ///< predicate evaluations spent
+    size_t original_gates = 0;
+    size_t final_gates = 0;
+};
+
+/** First @p count gates of @p circuit (same qubit count and name). */
+Circuit circuitPrefix(const Circuit &circuit, size_t count);
+
+/**
+ * Shrink @p input against @p fails. @p fails(input) must be true;
+ * every intermediate candidate that is kept also satisfies it, so the
+ * returned circuit always reproduces the failure.
+ */
+ShrinkOutcome shrinkCircuit(const Circuit &input,
+                            const FailPredicate &fails,
+                            ShrinkOptions opt = {});
+
+} // namespace fuzz
+} // namespace autobraid
+
+#endif // AUTOBRAID_TESTING_SHRINKER_HPP

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/error.hpp"
@@ -207,6 +208,128 @@ TEST(Interference, RemovalUpdatesDegrees)
     EXPECT_THROW(ig.remove(0), InternalError);
 }
 
+/**
+ * Full-rescan reference for the peel queries, mirroring the original
+ * implementation the bucket structure replaced. Fed the same removals,
+ * it must agree with InterferenceGraph at every step.
+ */
+class NaivePeelReference
+{
+  public:
+    explicit NaivePeelReference(const InterferenceGraph &ig)
+        : removed_(ig.originalSize(), 0)
+    {
+        for (size_t i = 0; i < ig.originalSize(); ++i)
+            degree_.push_back(ig.degree(i));
+    }
+
+    int
+    maxDegree() const
+    {
+        int best = 0;
+        for (size_t i = 0; i < degree_.size(); ++i)
+            if (!removed_[i])
+                best = std::max(best, degree_[i]);
+        return best;
+    }
+
+    std::vector<size_t>
+    maxDegreeNodes() const
+    {
+        const int best = maxDegree();
+        std::vector<size_t> nodes;
+        for (size_t i = 0; i < degree_.size(); ++i)
+            if (!removed_[i] && degree_[i] == best)
+                nodes.push_back(i);
+        return nodes;
+    }
+
+    void
+    remove(size_t i, const InterferenceGraph &ig)
+    {
+        removed_[i] = 1;
+        for (size_t n : ig.allNeighbors(i))
+            if (!removed_[n])
+                --degree_[n];
+        degree_[i] = 0;
+    }
+
+  private:
+    std::vector<int> degree_;
+    std::vector<uint8_t> removed_;
+};
+
+/** Random disjoint-cell CX tasks on @p grid. */
+std::vector<CxTask>
+randomLayer(const Grid &grid, int count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<CellId> cells(static_cast<size_t>(grid.numCells()));
+    for (CellId c = 0; c < grid.numCells(); ++c)
+        cells[static_cast<size_t>(c)] = c;
+    rng.shuffle(cells);
+    std::vector<CxTask> tasks;
+    for (int i = 0;
+         i < count && 2 * i + 1 < static_cast<int>(cells.size()); ++i)
+        tasks.push_back(CxTask::make(
+            static_cast<GateIdx>(i),
+            grid.cell(cells[static_cast<size_t>(2 * i)]),
+            grid.cell(cells[static_cast<size_t>(2 * i + 1)])));
+    return tasks;
+}
+
+TEST(Interference, BucketPeelMatchesFullRescan)
+{
+    // Peel every layer to the bottom, asserting the bucket structure
+    // reports the same max degree and the same ascending-index
+    // candidate set as the full rescan at every single step, for both
+    // tie-break ends of the candidate list.
+    Grid grid(12, 12);
+    for (uint64_t seed : {1u, 7u, 42u, 1337u}) {
+        for (int count : {4, 16, 48, 70}) {
+            const auto tasks = randomLayer(grid, count, seed);
+            InterferenceGraph ig(tasks);
+            NaivePeelReference ref(ig);
+            bool pick_front = true;
+            while (ig.size() > 0) {
+                ASSERT_EQ(ig.maxDegree(), ref.maxDegree())
+                    << "seed " << seed << " count " << count;
+                const auto got = ig.maxDegreeNodes();
+                ASSERT_EQ(got, ref.maxDegreeNodes())
+                    << "seed " << seed << " count " << count;
+                const size_t victim =
+                    pick_front ? got.front() : got.back();
+                pick_front = !pick_front;
+                ig.remove(victim);
+                ref.remove(victim, ig);
+            }
+            EXPECT_EQ(ig.maxDegree(), 0);
+            EXPECT_TRUE(ig.maxDegreeNodes().empty());
+        }
+    }
+}
+
+TEST(Interference, BucketQueriesInterleavedWithPartialPeel)
+{
+    // The stack finder stops peeling at maxDegree() <= 2 and then
+    // queries degrees/neighbours of the residue; make sure a partial
+    // peel leaves consistent state.
+    Grid grid(10, 10);
+    const auto tasks = randomLayer(grid, 40, 99);
+    InterferenceGraph ig(tasks);
+    NaivePeelReference ref(ig);
+    while (ig.maxDegree() > 2) {
+        const size_t victim = ig.maxDegreeNodes().front();
+        ig.remove(victim);
+        ref.remove(victim, ig);
+    }
+    EXPECT_LE(ig.maxDegree(), 2);
+    EXPECT_EQ(ig.maxDegree(), ref.maxDegree());
+    EXPECT_EQ(ig.maxDegreeNodes(), ref.maxDegreeNodes());
+    for (size_t n : ig.activeNodes())
+        EXPECT_LE(ig.degree(n), 2);
+}
+
 TEST(StackFinder, EmptyAndSingle)
 {
     Grid g(4, 4);
@@ -324,6 +447,23 @@ TEST(GreedyFinder, FixedCornerConflictsMore)
     const auto free_out = free_corners.findPaths(tasks, kFree);
     EXPECT_EQ(free_out.routed.size(), 2u);
     EXPECT_LE(fixed_out.routed.size(), free_out.routed.size());
+}
+
+TEST(GreedyFinder, EmptyTaskListIsVacuousSuccess)
+{
+    // Audit companion to StackFinder.EmptyAndSingle: an empty task
+    // list must report ratio 1.0 (vacuous success), not 0 — a 0 here
+    // would spuriously trip the layout-optimizer threshold.
+    Grid g(4, 4);
+    for (GreedyOrder order :
+         {GreedyOrder::Distance, GreedyOrder::Program,
+          GreedyOrder::Largest, GreedyOrder::Criticality}) {
+        GreedyPathFinder finder(g, order);
+        const auto empty = finder.findPaths({}, kFree);
+        EXPECT_TRUE(empty.routed.empty());
+        EXPECT_TRUE(empty.failed.empty());
+        EXPECT_DOUBLE_EQ(empty.ratio, 1.0) << finder.name();
+    }
 }
 
 TEST(GreedyFinder, Names)

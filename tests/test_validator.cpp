@@ -15,16 +15,6 @@
 namespace autobraid {
 namespace {
 
-/** Compile with tracing and return the report. */
-CompileReport
-tracedCompile(const char *spec, SchedulerPolicy policy)
-{
-    CompileOptions opt;
-    opt.policy = policy;
-    opt.record_trace = true;
-    return compilePipeline(gen::make(spec), opt);
-}
-
 TEST(Validator, AcceptsLegalSchedules)
 {
     for (const char *spec : {"qft:9", "im:12:2", "grover:4",
@@ -166,7 +156,47 @@ TEST_F(ValidatorCorruption, DetectsBrokenPathGeometry)
     EXPECT_FALSE(v.ok);
 }
 
-TEST_F(ValidatorCorruption, MaxErrorsCapsOutput)
+TEST_F(ValidatorCorruption, DetectsInvertedTimeWindow)
+{
+    // Regression: finish < start used to wrap the uint64 subtraction
+    // into a huge bogus "duration" message instead of naming the real
+    // defect. The ordering check must fire and the duration check must
+    // not report a wrapped value.
+    ScheduleResult bad = report_.result;
+    for (TraceEntry &e : bad.trace) {
+        if (e.gate != kNoGate && e.finish > e.start) {
+            std::swap(e.start, e.finish);
+            break;
+        }
+    }
+    const auto v = validateSchedule(*circuit_, bad, cost_);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.toString().find("precedes start"), std::string::npos)
+        << v.toString();
+    EXPECT_EQ(v.toString().find("duration 18446744073709"),
+              std::string::npos)
+        << "wrapped subtraction leaked: " << v.toString();
+}
+
+TEST_F(ValidatorCorruption, DetectsMakespanMismatch)
+{
+    ScheduleResult bad = report_.result;
+    bad.makespan += 7; // no gate actually finishes there
+    const auto v = validateSchedule(*circuit_, bad, cost_);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.toString().find("makespan"), std::string::npos);
+}
+
+TEST_F(ValidatorCorruption, DetectsBraidCountMismatch)
+{
+    ScheduleResult bad = report_.result;
+    bad.braids_routed += 1;
+    const auto v = validateSchedule(*circuit_, bad, cost_);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.toString().find("braid entries"), std::string::npos);
+}
+
+TEST_F(ValidatorCorruption, MaxErrorsCapsOutputWithSummary)
 {
     ScheduleResult bad = report_.result;
     for (TraceEntry &e : bad.trace)
@@ -174,7 +204,13 @@ TEST_F(ValidatorCorruption, MaxErrorsCapsOutput)
     const auto v =
         validateSchedule(*circuit_, bad, cost_, nullptr, 4);
     EXPECT_FALSE(v.ok);
-    EXPECT_LE(v.errors.size(), 4u);
+    // Regression: overflow failures used to vanish silently; now the
+    // cap holds 4 messages plus one summary naming the suppressed
+    // count.
+    ASSERT_EQ(v.errors.size(), 5u) << v.toString();
+    EXPECT_NE(v.errors.back().find("suppressed"), std::string::npos);
+    EXPECT_NE(v.errors.back().find("additional errors"),
+              std::string::npos);
 }
 
 TEST(Validator, SwapAccounting)
