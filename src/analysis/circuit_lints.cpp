@@ -1,0 +1,353 @@
+#include "analysis/circuit_lints.hpp"
+
+#include <map>
+#include <set>
+
+#include "circuit/peephole.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace lint {
+
+SourceLoc
+GateProvenance::at(GateIdx g) const
+{
+    SourceLoc loc;
+    loc.file = file;
+    if (g < lines.size())
+        loc.line = lines[g];
+    return loc;
+}
+
+namespace {
+
+/** True when @p kind consumes magic states (T gates or rotations). */
+bool
+consumesMagic(GateKind kind)
+{
+    return kind == GateKind::T || kind == GateKind::Tdg ||
+           kind == GateKind::RX || kind == GateKind::RY ||
+           kind == GateKind::RZ;
+}
+
+constexpr GateIdx kNone = static_cast<GateIdx>(-1);
+
+void
+lintUnusedQubits(const Circuit &circuit, DiagnosticEngine &engine)
+{
+    std::vector<bool> used(static_cast<size_t>(circuit.numQubits()));
+    for (const Gate &g : circuit.gates()) {
+        used[static_cast<size_t>(g.q0)] = true;
+        if (g.q1 != kNoQubit)
+            used[static_cast<size_t>(g.q1)] = true;
+    }
+    std::vector<Qubit> unused;
+    for (Qubit q = 0; q < circuit.numQubits(); ++q)
+        if (!used[static_cast<size_t>(q)])
+            unused.push_back(q);
+    if (unused.empty())
+        return;
+    std::string list;
+    for (size_t i = 0; i < unused.size() && i < 8; ++i)
+        list += strformat("%sq%d", i ? ", " : "", unused[i]);
+    if (unused.size() > 8)
+        list += ", ...";
+    engine.report("AB103", SourceLoc{},
+                  strformat("%zu of %d declared qubits are never used "
+                            "(%s): the grid is sized for all of them",
+                            unused.size(), circuit.numQubits(),
+                            list.c_str()));
+}
+
+void
+lintAdjacentInverses(const Circuit &circuit, DiagnosticEngine &engine,
+                     const GateProvenance *prov)
+{
+    // last[q] = index of the most recent gate touching qubit q.
+    std::vector<GateIdx> last(static_cast<size_t>(circuit.numQubits()),
+                              kNone);
+    for (GateIdx i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        // A pair is adjacent when the previous gate on every operand
+        // of g is the same gate; gatesCancel() (shared with the
+        // generator peephole) decides whether the pair is dead work.
+        const GateIdx p0 = last[static_cast<size_t>(g.q0)];
+        const bool pair_adjacent =
+            g.arity() == 1
+                ? p0 != kNone
+                : p0 != kNone &&
+                      p0 == last[static_cast<size_t>(g.q1)];
+        if (pair_adjacent && gatesCancel(circuit.gate(p0), g)) {
+            const GateIdx p = last[static_cast<size_t>(g.q0)];
+            engine.report(
+                "AB106", prov ? prov->at(i) : SourceLoc{},
+                strformat("gate #%zu (%s) cancels with gate #%zu "
+                          "(%s): the pair is dead work",
+                          i, g.toString().c_str(), p,
+                          circuit.gate(p).toString().c_str()));
+            // Treat the pair as removed so a run of three identical
+            // gates reports one pair, not two overlapping ones.
+            last[static_cast<size_t>(g.q0)] = kNone;
+            if (g.q1 != kNoQubit)
+                last[static_cast<size_t>(g.q1)] = kNone;
+            continue;
+        }
+        last[static_cast<size_t>(g.q0)] = i;
+        if (g.q1 != kNoQubit)
+            last[static_cast<size_t>(g.q1)] = i;
+    }
+}
+
+void
+lintMagicHotspot(const Circuit &circuit, DiagnosticEngine &engine,
+                 const CircuitLintOptions &opt)
+{
+    std::vector<size_t> t_count(
+        static_cast<size_t>(circuit.numQubits()));
+    size_t total = 0;
+    for (const Gate &g : circuit.gates()) {
+        if (!consumesMagic(g.kind))
+            continue;
+        ++t_count[static_cast<size_t>(g.q0)];
+        ++total;
+    }
+    if (total < opt.t_hotspot_min || circuit.numQubits() < 2)
+        return;
+    Qubit hot = 0;
+    for (Qubit q = 1; q < circuit.numQubits(); ++q)
+        if (t_count[static_cast<size_t>(q)] >
+            t_count[static_cast<size_t>(hot)])
+            hot = q;
+    const size_t peak = t_count[static_cast<size_t>(hot)];
+    if (static_cast<double>(peak) <=
+        opt.t_hotspot_share * static_cast<double>(total))
+        return;
+    engine.report(
+        "AB107", SourceLoc{},
+        strformat("magic-state hotspot: qubit q%d consumes %zu of %zu "
+                  "T/rotation gates (%.0f%%); magic-state delivery to "
+                  "its tile will serialize",
+                  hot, peak, total,
+                  100.0 * static_cast<double>(peak) /
+                      static_cast<double>(total)));
+}
+
+} // namespace
+
+void
+lintCircuit(const Circuit &circuit, DiagnosticEngine &engine,
+            const GateProvenance *provenance,
+            const CircuitLintOptions &options)
+{
+    lintUnusedQubits(circuit, engine);
+    lintAdjacentInverses(circuit, engine, provenance);
+    lintMagicHotspot(circuit, engine, options);
+}
+
+namespace {
+
+using qasm::Argument;
+using qasm::Program;
+
+SourceLoc
+at(const std::string &file, int line)
+{
+    SourceLoc loc;
+    loc.file = file;
+    loc.line = line;
+    return loc;
+}
+
+/** AB101: gate calls where two operands alias the same qubit. */
+void
+lintDuplicateOperands(const Program &program, DiagnosticEngine &engine,
+                      const std::string &file)
+{
+    for (const qasm::Statement &stmt : program.statements) {
+        const auto *call = std::get_if<qasm::GateCall>(&stmt);
+        if (!call)
+            continue;
+        bool reported = false;
+        for (size_t i = 0; i < call->args.size() && !reported; ++i) {
+            const Argument &a = call->args[i];
+            if (program.qregSize(a.reg) < 0)
+                continue;
+            for (size_t j = i + 1; j < call->args.size(); ++j) {
+                const Argument &b = call->args[j];
+                if (a.reg != b.reg)
+                    continue;
+                // Distinct indexed elements never alias; every other
+                // same-register combination collides at some
+                // broadcast index (e.g. `cx q, q` or `cx q, q[0]`).
+                if (!a.wholeRegister() && !b.wholeRegister() &&
+                    a.index != b.index)
+                    continue;
+                engine.report(
+                    "AB101", at(file, call->line),
+                    strformat("gate '%s' applies operands %s and %s "
+                              "to the same qubit",
+                              call->name.c_str(),
+                              a.toString().c_str(),
+                              b.toString().c_str()));
+                reported = true;
+                break;
+            }
+        }
+    }
+}
+
+/** AB105: unequal whole-register operands of one broadcast call. */
+void
+lintBroadcastWidths(const Program &program, DiagnosticEngine &engine,
+                    const std::string &file)
+{
+    for (const qasm::Statement &stmt : program.statements) {
+        const auto *call = std::get_if<qasm::GateCall>(&stmt);
+        if (!call)
+            continue;
+        int width = 0;
+        const Argument *first = nullptr;
+        for (const Argument &arg : call->args) {
+            if (!arg.wholeRegister())
+                continue;
+            const int size = program.qregSize(arg.reg);
+            if (size < 0)
+                continue; // unknown register: elaboration rejects it
+            if (width == 0) {
+                width = size;
+                first = &arg;
+            } else if (size != width) {
+                engine.report(
+                    "AB105", at(file, call->line),
+                    strformat("gate '%s' broadcasts registers of "
+                              "unequal size ('%s'[%d] vs '%s'[%d])",
+                              call->name.c_str(), first->reg.c_str(),
+                              width, arg.reg.c_str(), size));
+                break;
+            }
+        }
+    }
+}
+
+/** AB105: measurement source/destination width and range problems. */
+void
+lintMeasureWidths(const Program &program, DiagnosticEngine &engine,
+                  const std::string &file)
+{
+    for (const qasm::Statement &stmt : program.statements) {
+        const auto *m = std::get_if<qasm::MeasureStmt>(&stmt);
+        if (!m)
+            continue;
+        const int qsize = program.qregSize(m->src.reg);
+        const int csize = program.cregSize(m->dst.reg);
+        if (qsize < 0 || csize < 0)
+            continue; // unknown registers: elaboration rejects them
+        if (m->src.wholeRegister() && m->dst.wholeRegister()) {
+            if (qsize != csize)
+                engine.report(
+                    "AB105", at(file, m->line),
+                    strformat("measure broadcasts '%s'[%d] into "
+                              "'%s'[%d]: widths differ",
+                              m->src.reg.c_str(), qsize,
+                              m->dst.reg.c_str(), csize));
+        } else if (m->src.wholeRegister() && qsize > 1) {
+            engine.report(
+                "AB105", at(file, m->line),
+                strformat("measure broadcasts '%s'[%d] into the "
+                          "single bit '%s[%d]'",
+                          m->src.reg.c_str(), qsize,
+                          m->dst.reg.c_str(), m->dst.index));
+        }
+        if (!m->dst.wholeRegister() &&
+            (m->dst.index < 0 || m->dst.index >= csize))
+            engine.report(
+                "AB105", at(file, m->line),
+                strformat("classical index %d out of range for "
+                          "'%s'[%d]",
+                          m->dst.index, m->dst.reg.c_str(), csize));
+    }
+}
+
+/** AB104: cregs that no measurement ever writes. */
+void
+lintUnusedCregs(const Program &program, DiagnosticEngine &engine,
+                const std::string &file)
+{
+    std::set<std::string> written;
+    for (const qasm::Statement &stmt : program.statements)
+        if (const auto *m = std::get_if<qasm::MeasureStmt>(&stmt))
+            written.insert(m->dst.reg);
+    for (const auto &[name, size] : program.cregs)
+        if (written.find(name) == written.end())
+            engine.report(
+                "AB104", at(file, 0),
+                strformat("classical register '%s'[%d] is never "
+                          "written by a measurement",
+                          name.c_str(), size));
+}
+
+/** AB102: quantum use after measurement without a reset. */
+void
+lintUseAfterMeasure(const Program &program, DiagnosticEngine &engine,
+                    const std::string &file)
+{
+    // Key = qubit (register name, element index).
+    using QubitKey = std::pair<std::string, int>;
+    std::set<QubitKey> measured;
+    std::set<QubitKey> reported;
+
+    auto elements = [&program](const Argument &arg) {
+        std::vector<QubitKey> out;
+        const int size = program.qregSize(arg.reg);
+        if (size < 0)
+            return out; // not a qreg (or undeclared)
+        if (arg.wholeRegister())
+            for (int i = 0; i < size; ++i)
+                out.emplace_back(arg.reg, i);
+        else
+            out.emplace_back(arg.reg, arg.index);
+        return out;
+    };
+
+    for (const qasm::Statement &stmt : program.statements) {
+        if (const auto *call = std::get_if<qasm::GateCall>(&stmt)) {
+            for (const Argument &arg : call->args)
+                for (const QubitKey &q : elements(arg))
+                    if (measured.count(q) && !reported.count(q)) {
+                        reported.insert(q);
+                        engine.report(
+                            "AB102", at(file, call->line),
+                            strformat("'%s[%d]' is used by gate '%s' "
+                                      "after being measured; insert a "
+                                      "reset to reuse it",
+                                      q.first.c_str(), q.second,
+                                      call->name.c_str()));
+                    }
+        } else if (const auto *m =
+                       std::get_if<qasm::MeasureStmt>(&stmt)) {
+            for (const QubitKey &q : elements(m->src))
+                measured.insert(q);
+        } else if (const auto *r =
+                       std::get_if<qasm::ResetStmt>(&stmt)) {
+            for (const QubitKey &q : elements(r->arg))
+                measured.erase(q);
+        }
+        // Barriers neither use nor reset qubits.
+    }
+}
+
+} // namespace
+
+void
+lintProgram(const Program &program, DiagnosticEngine &engine,
+            const std::string &file)
+{
+    lintDuplicateOperands(program, engine, file);
+    lintBroadcastWidths(program, engine, file);
+    lintMeasureWidths(program, engine, file);
+    lintUnusedCregs(program, engine, file);
+    lintUseAfterMeasure(program, engine, file);
+}
+
+} // namespace lint
+} // namespace autobraid

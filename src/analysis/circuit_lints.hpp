@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Circuit- and QASM-level lints (AB1xx family).
+ *
+ * Circuit lints operate on the lowered gate list and therefore cover
+ * every front end (QASM files, benchmark generators, fuzz circuits);
+ * when the circuit came from QASM, a GateProvenance side table maps
+ * gate indices back to source lines so diagnostics carry real
+ * locations. Program lints operate on the parsed OpenQASM AST and
+ * catch input bugs that elaboration either rejects with a hard error
+ * (register-width mismatch, reported here gracefully first) or
+ * silently accepts (unused cregs, classical-bit overflow, use after
+ * measurement).
+ */
+
+#ifndef AUTOBRAID_ANALYSIS_CIRCUIT_LINTS_HPP
+#define AUTOBRAID_ANALYSIS_CIRCUIT_LINTS_HPP
+
+#include "analysis/diagnostics.hpp"
+#include "circuit/circuit.hpp"
+#include "qasm/ast.hpp"
+
+namespace autobraid {
+namespace lint {
+
+/** Per-gate source lines (from qasm::elaborateWithLines). */
+struct GateProvenance
+{
+    std::string file;       ///< source path ("" = in-memory)
+    std::vector<int> lines; ///< 1-based line per gate; 0 = unknown
+
+    /** Location of gate @p g ("" / line 0 when unknown). */
+    SourceLoc at(GateIdx g) const;
+};
+
+/** Tuning knobs for the heuristic circuit lints. */
+struct CircuitLintOptions
+{
+    /** AB107 fires when one qubit holds > this share of all T work. */
+    double t_hotspot_share = 0.5;
+    /** ... and the circuit has at least this many T/rotation gates. */
+    size_t t_hotspot_min = 16;
+};
+
+/**
+ * Run the circuit-level lints: AB103 (unused qubits), AB106 (adjacent
+ * self-inverse pairs), AB107 (magic-state hotspots). AB101 is
+ * AST-level only: Gate::twoQubit rejects duplicate operands, so such
+ * gates cannot exist in a Circuit.
+ */
+void lintCircuit(const Circuit &circuit, DiagnosticEngine &engine,
+                 const GateProvenance *provenance = nullptr,
+                 const CircuitLintOptions &options = {});
+
+/**
+ * Run the AST-level lints on a parsed program: AB101 (operands
+ * aliasing one qubit), AB102 (use after measurement), AB104 (unused
+ * creg), AB105 (register-width mismatch and classical-bit overflow).
+ * @p file labels the source locations.
+ */
+void lintProgram(const qasm::Program &program,
+                 DiagnosticEngine &engine,
+                 const std::string &file = "");
+
+} // namespace lint
+} // namespace autobraid
+
+#endif // AUTOBRAID_ANALYSIS_CIRCUIT_LINTS_HPP

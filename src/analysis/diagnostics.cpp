@@ -1,0 +1,232 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace lint {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+SourceLoc::toString() const
+{
+    if (!valid())
+        return file;
+    std::string out = file.empty() ? "<input>" : file;
+    out += strformat(":%d", line);
+    if (column > 0)
+        out += strformat(":%d", column);
+    return out;
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::string out;
+    const std::string at = loc.toString();
+    if (!at.empty())
+        out += at + ": ";
+    out += strformat("%s: %s [%s]", severityName(severity),
+                     message.c_str(), code.c_str());
+    return out;
+}
+
+const std::vector<DiagInfo> &
+diagnosticCatalog()
+{
+    // AB1xx: circuit/QASM, AB2xx: layout/lattice, AB3xx: LLG theory.
+    static const std::vector<DiagInfo> catalog{
+        {"AB101", Severity::Error,
+         "gate applied with identical operand qubits (e.g. CX control "
+         "= target)"},
+        {"AB102", Severity::Warning,
+         "qubit used after measurement without an intervening reset"},
+        {"AB103", Severity::Note, "declared qubit is never used"},
+        {"AB104", Severity::Note,
+         "classical register is never written by a measurement"},
+        {"AB105", Severity::Error,
+         "register-width mismatch in a broadcast gate or measurement"},
+        {"AB106", Severity::Warning,
+         "adjacent self-inverse gate pair cancels to the identity "
+         "(dead work)"},
+        {"AB107", Severity::Note,
+         "magic-state hotspot: one qubit consumes a dominant share of "
+         "the T/rotation gates"},
+        {"AB201", Severity::Error,
+         "tile whose four corner vertices are all dead: any braid "
+         "touching it is statically unroutable"},
+        {"AB202", Severity::Note,
+         "channel-capacity lower bound: a vertex cut between "
+         "interacting tile groups bounds the achievable makespan"},
+        {"AB203", Severity::Error,
+         "dead vertices disconnect the live routing graph between "
+         "tiles"},
+        {"AB301", Severity::Note,
+         "LLG violates both schedulability theorems (size > 3 and not "
+         "strictly nested): in-box routing is not guaranteed"},
+        {"AB302", Severity::Note,
+         "four pairwise strictly-interfering CX gates in one layer "
+         "(Theorem 3 obstruction)"},
+    };
+    return catalog;
+}
+
+const DiagInfo *
+findDiagInfo(const std::string &code)
+{
+    for (const DiagInfo &info : diagnosticCatalog())
+        if (code == info.code)
+            return &info;
+    return nullptr;
+}
+
+DiagnosticEngine::DiagnosticEngine(LintOptions options)
+    : options_(std::move(options))
+{}
+
+bool
+DiagnosticEngine::suppressed(const std::string &code) const
+{
+    for (const std::string &s : options_.suppressions) {
+        if (s == code)
+            return true;
+        // Family wildcard: "AB1xx" suppresses every AB1-family code.
+        if (s.size() == code.size() && s.size() > 2 &&
+            s.compare(s.size() - 2, 2, "xx") == 0 &&
+            code.compare(0, s.size() - 2, s, 0, s.size() - 2) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+DiagnosticEngine::report(const char *code, SourceLoc loc,
+                         std::string message)
+{
+    const DiagInfo *info = findDiagInfo(code);
+    require(info != nullptr, "lint: unregistered diagnostic code");
+    report(code, info->severity, std::move(loc), std::move(message));
+}
+
+void
+DiagnosticEngine::report(const char *code, Severity severity,
+                         SourceLoc loc, std::string message)
+{
+    if (options_.level == LintLevel::Off)
+        return;
+    if (suppressed(code)) {
+        ++suppressed_;
+        return;
+    }
+    if (severity == Severity::Warning && options_.werror)
+        severity = Severity::Error;
+    if (options_.level == LintLevel::Errors &&
+        severity != Severity::Error)
+        return;
+    if (options_.level == LintLevel::Warnings &&
+        severity == Severity::Note)
+        return;
+    diagnostics_.push_back(
+        {code, severity, std::move(message), std::move(loc)});
+}
+
+size_t
+DiagnosticEngine::count(Severity severity) const
+{
+    return static_cast<size_t>(std::count_if(
+        diagnostics_.begin(), diagnostics_.end(),
+        [severity](const Diagnostic &d) {
+            return d.severity == severity;
+        }));
+}
+
+void
+DiagnosticEngine::setMetric(const std::string &name, long value)
+{
+    metrics_[name] = value;
+}
+
+std::string
+DiagnosticEngine::toText() const
+{
+    std::string out;
+    for (const Diagnostic &d : diagnostics_)
+        out += d.toString() + "\n";
+    if (!diagnostics_.empty() || suppressed_ > 0) {
+        out += strformat("%zu error(s), %zu warning(s), %zu note(s)",
+                         count(Severity::Error),
+                         count(Severity::Warning),
+                         count(Severity::Note));
+        if (suppressed_ > 0)
+            out += strformat(", %zu suppressed", suppressed_);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::toSarif() const
+{
+    // SARIF 2.1.0 severity levels share the engine's names.
+    std::string rules;
+    for (const DiagInfo &info : diagnosticCatalog()) {
+        if (!rules.empty())
+            rules += ",";
+        rules += strformat(
+            "{\"id\":\"%s\","
+            "\"shortDescription\":{\"text\":\"%s\"},"
+            "\"defaultConfiguration\":{\"level\":\"%s\"}}",
+            info.code, jsonEscape(info.summary).c_str(),
+            severityName(info.severity));
+    }
+
+    std::string results;
+    for (const Diagnostic &d : diagnostics_) {
+        if (!results.empty())
+            results += ",";
+        results += strformat(
+            "{\"ruleId\":\"%s\",\"level\":\"%s\","
+            "\"message\":{\"text\":\"%s\"}",
+            jsonEscape(d.code).c_str(), severityName(d.severity),
+            jsonEscape(d.message).c_str());
+        if (d.loc.valid()) {
+            results += strformat(
+                ",\"locations\":[{\"physicalLocation\":{"
+                "\"artifactLocation\":{\"uri\":\"%s\"},"
+                "\"region\":{\"startLine\":%d",
+                jsonEscape(d.loc.file.empty() ? "<input>" : d.loc.file)
+                    .c_str(),
+                d.loc.line);
+            if (d.loc.column > 0)
+                results += strformat(",\"startColumn\":%d",
+                                     d.loc.column);
+            results += "}}}]";
+        }
+        results += "}";
+    }
+
+    return strformat(
+        "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+        "\"name\":\"autobraid-lint\",\"version\":\"1.0.0\","
+        "\"informationUri\":"
+        "\"https://github.com/autobraid/autobraid\","
+        "\"rules\":[%s]}},\"results\":[%s]}]}",
+        rules.c_str(), results.c_str());
+}
+
+} // namespace lint
+} // namespace autobraid

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Diagnostic engine for the autobraid-lint static analyses.
+ *
+ * Diagnostics carry a stable code (AB1xx circuit/QASM, AB2xx
+ * layout/lattice, AB3xx LLG schedulability), a severity, a message, and
+ * an optional source location propagated from the QASM lexer. The
+ * engine applies per-code suppression, a minimum-severity level, and
+ * optional warning-to-error promotion (--lint-werror), and renders the
+ * surviving diagnostics either as human-readable text or as a SARIF
+ * 2.1.0 document for CI annotation.
+ */
+
+#ifndef AUTOBRAID_ANALYSIS_DIAGNOSTICS_HPP
+#define AUTOBRAID_ANALYSIS_DIAGNOSTICS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace autobraid {
+namespace lint {
+
+/** Diagnostic severities, in increasing order. */
+enum class Severity : uint8_t
+{
+    Note,
+    Warning,
+    Error,
+};
+
+/** Lowercase severity name ("note", "warning", "error"). */
+const char *severityName(Severity severity);
+
+/** Minimum-severity filter applied by the engine. */
+enum class LintLevel : uint8_t
+{
+    Off,      ///< linting disabled entirely
+    Errors,   ///< keep only errors
+    Warnings, ///< keep warnings and errors
+    All,      ///< keep everything, including notes
+};
+
+/** A source position (1-based; line 0 = no location). */
+struct SourceLoc
+{
+    std::string file; ///< "" when the input was not a file
+    int line = 0;
+    int column = 0;
+
+    bool valid() const { return line > 0; }
+
+    /** "file:line:col" with empty parts elided. */
+    std::string toString() const;
+};
+
+/** One emitted diagnostic. */
+struct Diagnostic
+{
+    std::string code;    ///< "AB101", ...
+    Severity severity = Severity::Warning;
+    std::string message;
+    SourceLoc loc;
+
+    /** "file:3:5: error: message [AB101]". */
+    std::string toString() const;
+};
+
+/** Catalog entry for one diagnostic code. */
+struct DiagInfo
+{
+    const char *code;
+    Severity severity;   ///< default severity
+    const char *summary; ///< one-line rule description (SARIF/docs)
+};
+
+/** Every registered diagnostic code, sorted by code. */
+const std::vector<DiagInfo> &diagnosticCatalog();
+
+/** Catalog entry for @p code; null when unregistered. */
+const DiagInfo *findDiagInfo(const std::string &code);
+
+/** Engine configuration (CompileOptions::lint_* / CLI flags). */
+struct LintOptions
+{
+    LintLevel level = LintLevel::All;
+
+    /**
+     * Codes to drop: exact ("AB106") or family wildcard ("AB1xx"
+     * drops every AB1-family code).
+     */
+    std::vector<std::string> suppressions;
+
+    /** Promote warnings to errors (--lint-werror). */
+    bool werror = false;
+};
+
+/**
+ * Collects diagnostics, applying suppression, level filtering, and
+ * werror promotion at report time.
+ */
+class DiagnosticEngine
+{
+  public:
+    explicit DiagnosticEngine(LintOptions options = {});
+
+    const LintOptions &options() const { return options_; }
+
+    /** Report with the catalog's default severity for @p code. */
+    void report(const char *code, SourceLoc loc, std::string message);
+
+    /** Report with an explicit severity (overrides the catalog). */
+    void report(const char *code, Severity severity, SourceLoc loc,
+                std::string message);
+
+    /** Surviving diagnostics, in emission order. */
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    /** Count of surviving diagnostics at @p severity. */
+    size_t count(Severity severity) const;
+
+    /** True when any surviving diagnostic is an error. */
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+
+    /** Diagnostics dropped by per-code suppression. */
+    size_t suppressedCount() const { return suppressed_; }
+
+    /** Attach a named analysis metric (e.g. the channel bound). */
+    void setMetric(const std::string &name, long value);
+
+    /** All attached metrics, sorted by name. */
+    const std::map<std::string, long> &metrics() const
+    {
+        return metrics_;
+    }
+
+    /**
+     * Human-readable rendering: one line per diagnostic plus a
+     * trailing severity summary ("" when empty and clean).
+     */
+    std::string toText() const;
+
+    /** SARIF 2.1.0 document with one run holding every diagnostic. */
+    std::string toSarif() const;
+
+  private:
+    bool suppressed(const std::string &code) const;
+
+    LintOptions options_;
+    std::vector<Diagnostic> diagnostics_;
+    std::map<std::string, long> metrics_;
+    size_t suppressed_ = 0;
+};
+
+} // namespace lint
+} // namespace autobraid
+
+#endif // AUTOBRAID_ANALYSIS_DIAGNOSTICS_HPP

@@ -1,0 +1,243 @@
+#include "analysis/layout_lints.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace lint {
+
+namespace {
+
+std::vector<uint8_t>
+deadMask(const Grid &grid, const std::vector<VertexId> &dead)
+{
+    std::vector<uint8_t> mask(
+        static_cast<size_t>(grid.numVertices()), 0);
+    for (VertexId v : dead)
+        if (v >= 0 && v < grid.numVertices())
+            mask[static_cast<size_t>(v)] = 1;
+    return mask;
+}
+
+/** AB201: tiles whose four corner vertices are all dead. */
+void
+lintDeadTiles(const Grid &grid, const std::vector<uint8_t> &dead,
+              DiagnosticEngine &engine)
+{
+    for (int r = 0; r < grid.rows(); ++r)
+        for (int c = 0; c < grid.cols(); ++c) {
+            const auto corners = grid.cornerIds(Cell{r, c});
+            bool all_dead = true;
+            for (VertexId v : corners)
+                all_dead = all_dead && dead[static_cast<size_t>(v)];
+            if (all_dead)
+                engine.report(
+                    "AB201", SourceLoc{},
+                    strformat("tile (%d,%d): all four corner vertices "
+                              "are dead; any braid touching this tile "
+                              "is unroutable",
+                              r, c));
+        }
+}
+
+/** Label live-vertex connected components; -1 for dead vertices. */
+std::vector<int>
+liveComponents(const Grid &grid, const std::vector<uint8_t> &dead,
+               int &num_components)
+{
+    std::vector<int> comp(static_cast<size_t>(grid.numVertices()), -1);
+    num_components = 0;
+    for (VertexId start = 0; start < grid.numVertices(); ++start) {
+        if (dead[static_cast<size_t>(start)] ||
+            comp[static_cast<size_t>(start)] >= 0)
+            continue;
+        const int id = num_components++;
+        std::queue<VertexId> frontier;
+        frontier.push(start);
+        comp[static_cast<size_t>(start)] = id;
+        while (!frontier.empty()) {
+            const VertexId v = frontier.front();
+            frontier.pop();
+            std::array<VertexId, 4> nbrs;
+            const int n = grid.neighbors(v, nbrs);
+            for (int i = 0; i < n; ++i) {
+                const VertexId w = nbrs[i];
+                if (dead[static_cast<size_t>(w)] ||
+                    comp[static_cast<size_t>(w)] >= 0)
+                    continue;
+                comp[static_cast<size_t>(w)] = id;
+                frontier.push(w);
+            }
+        }
+    }
+    return comp;
+}
+
+/** AB203: pairs of tiles with no live path between their corners. */
+void
+lintConnectivity(const Grid &grid, const std::vector<uint8_t> &dead,
+                 DiagnosticEngine &engine)
+{
+    int num_components = 0;
+    const std::vector<int> comp =
+        liveComponents(grid, dead, num_components);
+    if (num_components <= 1)
+        return;
+
+    // Components reachable from each tile's live corners (<= 4 each).
+    const int num_cells = grid.numCells();
+    std::vector<std::array<int, 4>> cell_comps(
+        static_cast<size_t>(num_cells), {-1, -1, -1, -1});
+    for (CellId c = 0; c < num_cells; ++c) {
+        int n = 0;
+        for (VertexId v : grid.cornerIds(grid.cell(c))) {
+            const int id = comp[static_cast<size_t>(v)];
+            if (id < 0)
+                continue;
+            bool seen = false;
+            for (int i = 0; i < n; ++i)
+                seen = seen || cell_comps[static_cast<size_t>(c)][i] == id;
+            if (!seen)
+                cell_comps[static_cast<size_t>(c)][n++] = id;
+        }
+    }
+
+    auto disjoint = [&cell_comps](CellId a, CellId b) {
+        for (int i = 0; i < 4; ++i) {
+            const int ca = cell_comps[static_cast<size_t>(a)][i];
+            if (ca < 0)
+                continue;
+            for (int j = 0; j < 4; ++j)
+                if (cell_comps[static_cast<size_t>(b)][j] == ca)
+                    return false;
+        }
+        return true;
+    };
+
+    for (CellId a = 0; a < num_cells; ++a)
+        for (CellId b = a + 1; b < num_cells; ++b)
+            if (disjoint(a, b)) {
+                engine.report(
+                    "AB203", SourceLoc{},
+                    strformat("dead vertices split the live routing "
+                              "graph into %d components: no braid can "
+                              "connect tile %s to tile %s",
+                              num_components,
+                              grid.cell(a).toString().c_str(),
+                              grid.cell(b).toString().c_str()));
+                return; // one example pair is enough
+            }
+}
+
+} // namespace
+
+void
+lintLayout(const Grid &grid, const std::vector<VertexId> &dead,
+           DiagnosticEngine &engine)
+{
+    const std::vector<uint8_t> mask = deadMask(grid, dead);
+    lintDeadTiles(grid, mask, engine);
+    lintConnectivity(grid, mask, engine);
+}
+
+Cycles
+effectiveHold(const CostModel &cost, Cycles channel_hold_cycles)
+{
+    if (channel_hold_cycles == 0)
+        return cost.cxCycles();
+    return std::min(channel_hold_cycles, cost.cxCycles());
+}
+
+ChannelBound
+channelCapacityBound(const Grid &grid,
+                     const std::vector<VertexId> &dead,
+                     const std::vector<CxTask> &tasks, Cycles hold)
+{
+    ChannelBound best;
+    if (tasks.empty() || hold == 0)
+        return best;
+    const std::vector<uint8_t> mask = deadMask(grid, dead);
+
+    // Live vertices per vertex column / row.
+    std::vector<int> col_live(static_cast<size_t>(grid.vertexCols()));
+    std::vector<int> row_live(static_cast<size_t>(grid.vertexRows()));
+    for (VertexId v = 0; v < grid.numVertices(); ++v) {
+        if (mask[static_cast<size_t>(v)])
+            continue;
+        const Vertex vert = grid.vertex(v);
+        ++col_live[static_cast<size_t>(vert.c)];
+        ++row_live[static_cast<size_t>(vert.r)];
+    }
+
+    // crossings[c] = braids whose operand tiles straddle the vertex
+    // line at column c (tile columns < c vs >= c); same per row. Any
+    // such braid's path changes column one unit per step, so it visits
+    // a vertex with column exactly c and holds it for the whole braid.
+    std::vector<size_t> col_cross(col_live.size(), 0);
+    std::vector<size_t> row_cross(row_live.size(), 0);
+    for (const CxTask &t : tasks) {
+        const int clo = std::min(t.a.c, t.b.c);
+        const int chi = std::max(t.a.c, t.b.c);
+        for (int c = clo + 1; c <= chi; ++c)
+            ++col_cross[static_cast<size_t>(c)];
+        const int rlo = std::min(t.a.r, t.b.r);
+        const int rhi = std::max(t.a.r, t.b.r);
+        for (int r = rlo + 1; r <= rhi; ++r)
+            ++row_cross[static_cast<size_t>(r)];
+    }
+
+    auto consider = [&best, hold](char axis, int pos, size_t crossings,
+                                  int capacity) {
+        if (crossings == 0 || capacity <= 0)
+            return;
+        const Cycles demand =
+            static_cast<Cycles>(crossings) * hold;
+        const Cycles cap = static_cast<Cycles>(capacity);
+        const Cycles bound = (demand + cap - 1) / cap;
+        if (bound > best.bound) {
+            best.bound = bound;
+            best.axis = axis;
+            best.position = pos;
+            best.crossings = crossings;
+            best.capacity = capacity;
+        }
+    };
+    // Interior lines only: the c = 0 / c = cols lines have no tiles
+    // beyond them, so their crossing counts are zero by construction.
+    for (int c = 1; c < grid.vertexCols() - 1; ++c)
+        consider('v', c, col_cross[static_cast<size_t>(c)],
+                 col_live[static_cast<size_t>(c)]);
+    for (int r = 1; r < grid.vertexRows() - 1; ++r)
+        consider('h', r, row_cross[static_cast<size_t>(r)],
+                 row_live[static_cast<size_t>(r)]);
+    return best;
+}
+
+ChannelBound
+lintChannelCapacity(const Grid &grid,
+                    const std::vector<VertexId> &dead,
+                    const std::vector<CxTask> &tasks, Cycles hold,
+                    DiagnosticEngine &engine)
+{
+    const ChannelBound cb =
+        channelCapacityBound(grid, dead, tasks, hold);
+    engine.setMetric("channel_bound_cycles",
+                     static_cast<long>(cb.bound));
+    if (cb.bound > 0)
+        engine.report(
+            "AB202", SourceLoc{},
+            strformat("channel capacity: %zu braids must cross the "
+                      "%s vertex line at %s %d (%d live vertices), so "
+                      "any swap-free schedule needs >= %llu cycles",
+                      cb.crossings,
+                      cb.axis == 'v' ? "vertical" : "horizontal",
+                      cb.axis == 'v' ? "column" : "row", cb.position,
+                      cb.capacity,
+                      static_cast<unsigned long long>(cb.bound)));
+    return cb;
+}
+
+} // namespace lint
+} // namespace autobraid

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Layout/lattice lints (AB2xx family).
+ *
+ * These run against a grid plus a dead-vertex set — the raw
+ * SchedulerConfig form, deliberately *not* DefectMap, because
+ * DefectMap::markDead already refuses invariant-violating defects;
+ * the lints exist to diagnose configurations that arrive through
+ * CompileOptions/CLI flags before the scheduler trips over them.
+ *
+ * AB201 flags tiles whose four corner vertices are all dead (any braid
+ * touching the tile is statically unroutable). AB203 flags dead-vertex
+ * sets that disconnect the live routing graph between tiles. AB202 is
+ * not a defect: it reports the channel-capacity lower bound on the
+ * makespan derived from vertex cuts (see channelCapacityBound) and
+ * exports it as the `channel_bound_cycles` metric.
+ */
+
+#ifndef AUTOBRAID_ANALYSIS_LAYOUT_LINTS_HPP
+#define AUTOBRAID_ANALYSIS_LAYOUT_LINTS_HPP
+
+#include "analysis/diagnostics.hpp"
+#include "circuit/dag.hpp"
+#include "lattice/cost_model.hpp"
+#include "lattice/geometry.hpp"
+#include "llg/bbox.hpp"
+
+namespace autobraid {
+namespace lint {
+
+/**
+ * Run the structural layout lints: AB201 (tile with all four corners
+ * dead) and AB203 (live routing graph disconnected between tiles).
+ */
+void lintLayout(const Grid &grid, const std::vector<VertexId> &dead,
+                DiagnosticEngine &engine);
+
+/** Result of the channel-capacity cut analysis. */
+struct ChannelBound
+{
+    Cycles bound = 0;    ///< max over cuts; 0 = no binding cut
+    char axis = 'v';     ///< 'v': vertical vertex line, 'h': horizontal
+    int position = 0;    ///< vertex row/column of the binding cut
+    size_t crossings = 0; ///< braids forced across the binding cut
+    int capacity = 0;    ///< live vertices on the binding cut
+};
+
+/**
+ * Channel-capacity lower bound on the makespan of any schedule that
+ * keeps the given static placement (no SWAP relayout).
+ *
+ * For every vertex line (column c in 1..cols-1 or row r in 1..rows-1)
+ * the line is a separator of the routing grid: a braid between tiles
+ * strictly on opposite sides must occupy at least one of the line's
+ * live vertices for its whole hold window (paths move one unit per
+ * step, so some visited vertex lies exactly on the line). Since
+ * concurrent paths are vertex-disjoint, a cut with @c capacity live
+ * vertices serves at most @c capacity braids at a time, giving
+ * makespan >= ceil(crossings * hold / capacity). The bound is the max
+ * over all cuts.
+ *
+ * @param tasks  braid tasks under the placement being analysed
+ *               (Placement::tasks over the braid-requiring gates).
+ * @param hold   per-braid channel occupancy in cycles (use
+ *               effectiveHold). SWAPs hold longer (3 CX) so counting
+ *               them as one hold keeps the bound sound.
+ *
+ * The bound is only valid for swap-free schedules: dynamic relayout
+ * moves qubits across cuts and invalidates the crossing counts.
+ */
+ChannelBound channelCapacityBound(const Grid &grid,
+                                  const std::vector<VertexId> &dead,
+                                  const std::vector<CxTask> &tasks,
+                                  Cycles hold);
+
+/**
+ * Per-braid channel occupancy: the full CX window under braiding, or
+ * the (shorter) EPR-distribution window in teleportation mode.
+ */
+Cycles effectiveHold(const CostModel &cost, Cycles channel_hold_cycles);
+
+/**
+ * Compute channelCapacityBound, report it as an AB202 note when a cut
+ * is binding, and export the `channel_bound_cycles` metric.
+ */
+ChannelBound lintChannelCapacity(const Grid &grid,
+                                 const std::vector<VertexId> &dead,
+                                 const std::vector<CxTask> &tasks,
+                                 Cycles hold, DiagnosticEngine &engine);
+
+} // namespace lint
+} // namespace autobraid
+
+#endif // AUTOBRAID_ANALYSIS_LAYOUT_LINTS_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * LLG-theory lints (AB3xx family), from docs/llg-theory.md.
+ *
+ * For each concurrent CX layer under a placement, AB301 flags local
+ * parallel groups that satisfy neither schedulability theorem — size
+ * > 3 (Theorem 1 fails) and not strictly nested (Theorem 2 fails) —
+ * so in-bounding-box routing is not guaranteed. AB302 flags the
+ * Theorem 3 obstruction: four pairwise strictly-interfering CX gates
+ * in one layer, which no schedule can route concurrently.
+ *
+ * Both are notes, not warnings: oversize LLGs are routine in dense
+ * benchmarks and the scheduler handles them by serializing — the
+ * lints quantify lost parallelism, they do not flag defects.
+ */
+
+#ifndef AUTOBRAID_ANALYSIS_LLG_LINTS_HPP
+#define AUTOBRAID_ANALYSIS_LLG_LINTS_HPP
+
+#include "analysis/diagnostics.hpp"
+#include "circuit/circuit.hpp"
+#include "place/placement.hpp"
+
+namespace autobraid {
+namespace lint {
+
+/** Tuning knobs for the LLG lints. */
+struct LlgLintOptions
+{
+    /** Individually reported diagnostics per code; excess aggregates. */
+    size_t max_reports = 4;
+    /** Layers larger than this skip the O(n^3) AB302 clique search. */
+    size_t max_clique_layer = 256;
+};
+
+/**
+ * Run AB301/AB302 over every concurrent CX layer of @p circuit under
+ * @p placement. Exports metrics `llg_hard_total` (AB301 instances)
+ * and `llg_clique_layers` (layers with a Theorem 3 obstruction).
+ */
+void lintLlgs(const Circuit &circuit, const Placement &placement,
+              DiagnosticEngine &engine,
+              const LlgLintOptions &options = {});
+
+} // namespace lint
+} // namespace autobraid
+
+#endif // AUTOBRAID_ANALYSIS_LLG_LINTS_HPP

@@ -29,6 +29,9 @@
 // Benchmark generators.
 #include "gen/registry.hpp"
 
+// Static analysis (autobraid-lint).
+#include "analysis/lint.hpp"
+
 // Lattice, error model, costs, defects.
 #include "lattice/cost_model.hpp"
 #include "lattice/defects.hpp"
@@ -53,6 +56,7 @@
 // Compiler driver: pass manager, standard passes, batch front-end.
 #include "compiler/batch.hpp"
 #include "compiler/driver.hpp"
+#include "compiler/lint_pass.hpp"
 #include "compiler/passes.hpp"
 
 // Visualization / export.

@@ -38,6 +38,7 @@ class Circuit
 
     /** Number of gates. */
     size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
 
     /** All gates in program order. */
     const std::vector<Gate> &gates() const { return gates_; }

@@ -1,0 +1,86 @@
+#include "circuit/peephole.hpp"
+
+namespace autobraid {
+
+namespace {
+
+/** True when kind @p second undoes kind @p first on equal operands. */
+bool
+kindsCancel(GateKind first, GateKind second)
+{
+    switch (second) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CX:
+      case GateKind::Swap:
+        return first == second;
+      case GateKind::S: return first == GateKind::Sdg;
+      case GateKind::Sdg: return first == GateKind::S;
+      case GateKind::T: return first == GateKind::Tdg;
+      case GateKind::Tdg: return first == GateKind::T;
+      default: return false;
+    }
+}
+
+} // namespace
+
+bool
+gatesCancel(const Gate &first, const Gate &second)
+{
+    if (first.arity() != second.arity() ||
+        !kindsCancel(first.kind, second.kind))
+        return false;
+    if (second.arity() == 1)
+        return first.q0 == second.q0;
+    if (second.kind == GateKind::Swap)
+        return (first.q0 == second.q0 && first.q1 == second.q1) ||
+               (first.q0 == second.q1 && first.q1 == second.q0);
+    return first.q0 == second.q0 && first.q1 == second.q1;
+}
+
+PeepholeResult
+cancelAdjacentPairs(const Circuit &circuit)
+{
+    constexpr GateIdx kNone = static_cast<GateIdx>(-1);
+    std::vector<bool> removed(circuit.size(), false);
+    // Per-qubit stack of surviving gate indices; the back is the most
+    // recent live gate on that qubit, so popping after a cancellation
+    // re-exposes the gate before the pair (cascading removal).
+    std::vector<std::vector<GateIdx>> last(
+        static_cast<size_t>(circuit.numQubits()));
+    auto top = [&last](Qubit q) {
+        const auto &s = last[static_cast<size_t>(q)];
+        return s.empty() ? kNone : s.back();
+    };
+
+    for (GateIdx i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        const GateIdx p0 = top(g.q0);
+        const GateIdx p1 = g.arity() == 2 ? top(g.q1) : kNone;
+        const bool pair_adjacent =
+            g.arity() == 1 ? p0 != kNone : p0 != kNone && p0 == p1;
+        if (pair_adjacent && gatesCancel(circuit.gate(p0), g)) {
+            removed[p0] = true;
+            removed[i] = true;
+            last[static_cast<size_t>(g.q0)].pop_back();
+            if (g.arity() == 2)
+                last[static_cast<size_t>(g.q1)].pop_back();
+            continue; // drop g as well
+        }
+        last[static_cast<size_t>(g.q0)].push_back(i);
+        if (g.arity() == 2)
+            last[static_cast<size_t>(g.q1)].push_back(i);
+    }
+
+    PeepholeResult out{Circuit(circuit.numQubits(), circuit.name()),
+                       0};
+    for (GateIdx i = 0; i < circuit.size(); ++i)
+        if (!removed[i])
+            out.circuit.add(circuit.gate(i));
+    out.removed = circuit.size() - out.circuit.size();
+    return out;
+}
+
+} // namespace autobraid

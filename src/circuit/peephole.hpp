@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Peephole cleanup: removal of adjacent self-inverse gate pairs.
+ *
+ * A pair cancels when two gates act on the same operands, nothing
+ * touches those operands in between, and the kinds compose to the
+ * identity (X/Y/Z/H/CX/Swap with themselves, S with Sdg, T with Tdg).
+ * The benchmark generators use this to avoid emitting dead work at
+ * compute/uncompute boundaries (e.g. the H·H the Toffoli network
+ * leaves on an ancilla between consecutive MCZ ladders in Grover);
+ * the AB106 lint uses the same predicate to flag surviving pairs.
+ */
+
+#ifndef AUTOBRAID_CIRCUIT_PEEPHOLE_HPP
+#define AUTOBRAID_CIRCUIT_PEEPHOLE_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace autobraid {
+
+/**
+ * True when @p first immediately followed by @p second on the same
+ * operands composes to the identity. Operand-aware: CX must repeat
+ * with the same orientation, Swap is symmetric, and a single-qubit
+ * kind never cancels against a two-qubit gate.
+ */
+bool gatesCancel(const Gate &first, const Gate &second);
+
+/** Outcome of cancelAdjacentPairs. */
+struct PeepholeResult
+{
+    Circuit circuit;    ///< cleaned copy (same qubits and name)
+    size_t removed = 0; ///< gates removed (always even)
+};
+
+/**
+ * Remove every adjacent self-inverse pair from @p circuit, cascading:
+ * when a pair is removed, the gates on either side become adjacent
+ * and may cancel in turn. Barriers and measurements never cancel but
+ * do separate gates on their operands.
+ */
+PeepholeResult cancelAdjacentPairs(const Circuit &circuit);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_CIRCUIT_PEEPHOLE_HPP

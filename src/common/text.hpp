@@ -40,6 +40,12 @@ std::string humanQuantity(double value);
 std::string humanMicros(double micros);
 
 /**
+ * Escape a string for inclusion in a JSON document (quotes,
+ * backslashes, and control characters).
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
  * Write @p content to @p path, replacing any existing file. Raises
  * UserError when the file cannot be opened or fully written.
  */

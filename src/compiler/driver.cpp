@@ -1,6 +1,7 @@
 #include "compiler/driver.hpp"
 
 #include "circuit/circuit.hpp"
+#include "compiler/lint_pass.hpp"
 
 namespace autobraid {
 
@@ -20,8 +21,13 @@ runPassPipeline(const Circuit &circuit, const CompileOptions &options,
 CompileReport
 compileCircuit(const Circuit &circuit, const CompileOptions &options)
 {
-    return runPassPipeline(circuit, options,
-                           PassManager::standardPipeline());
+    PassManager passes = PassManager::standardPipeline();
+    // Linting is opt-in: the standard pipeline (and the tests pinning
+    // its exact pass list) stays unchanged unless a level is set.
+    if (options.lint_level != lint::LintLevel::Off)
+        passes.insertAfter("initial-placement",
+                           std::make_unique<LintPass>());
+    return runPassPipeline(circuit, options, passes);
 }
 
 CompileReport

@@ -1,0 +1,51 @@
+#include "compiler/lint_pass.hpp"
+
+#include "analysis/lint.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace autobraid {
+
+void
+LintPass::run(CompileContext &ctx)
+{
+    AUTOBRAID_SPAN("pass.lint");
+    CompileContext::requireStage(ctx.grid.has_value(), name(),
+                                 "no grid; run "
+                                 "parallelism-analysis first");
+    CompileContext::requireStage(ctx.placement.has_value(), name(),
+                                 "no placement; run "
+                                 "initial-placement first");
+
+    auto engine = std::make_shared<lint::DiagnosticEngine>(
+        ctx.options.lintOptions());
+    lint::LintRunConfig cfg;
+    cfg.hold = lint::effectiveHold(ctx.options.cost,
+                                   ctx.options.channel_hold_cycles);
+    lint::runCircuitAnalyses(*ctx.circuit, *ctx.grid,
+                             ctx.options.dead_vertices,
+                             &*ctx.placement, *engine,
+                             /*provenance=*/nullptr, cfg);
+    ctx.report.lint = engine;
+
+    ctx.bump("lint_errors",
+             static_cast<long>(engine->count(lint::Severity::Error)));
+    ctx.bump("lint_warnings",
+             static_cast<long>(
+                 engine->count(lint::Severity::Warning)));
+    ctx.bump("lint_notes",
+             static_cast<long>(engine->count(lint::Severity::Note)));
+    ctx.bump("lint_suppressed",
+             static_cast<long>(engine->suppressedCount()));
+    for (const auto &[metric, value] : engine->metrics())
+        ctx.bump(metric, value);
+    AUTOBRAID_COUNT("lint.diagnostics",
+                    static_cast<long>(engine->diagnostics().size()));
+
+    // Surface error-level findings in the report's diagnostic log so
+    // callers see them even without rendering the engine.
+    for (const lint::Diagnostic &d : engine->diagnostics())
+        if (d.severity == lint::Severity::Error)
+            ctx.note("lint: " + d.toString());
+}
+
+} // namespace autobraid

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * LintPass: the static-analysis families as a pipeline stage.
+ *
+ * Runs every circuit-level analysis (AB1xx on the gate list, AB2xx on
+ * the configured dead-vertex set, AB3xx on the placement's concurrent
+ * layers) into a DiagnosticEngine configured from CompileOptions and
+ * publishes it as CompileReport::lint. The pass is *advisory*: it
+ * never aborts the compilation — error handling (exit codes,
+ * --lint-werror) is the caller's job, so batch compilations can
+ * collect diagnostics across all circuits before failing.
+ *
+ * Not part of PassManager::standardPipeline(); compileCircuit()
+ * inserts it after initial-placement when lint_level != Off, and
+ * custom pipelines can slot it anywhere a grid and placement exist.
+ */
+
+#ifndef AUTOBRAID_COMPILER_LINT_PASS_HPP
+#define AUTOBRAID_COMPILER_LINT_PASS_HPP
+
+#include "compiler/pass.hpp"
+
+namespace autobraid {
+
+/** Static-analysis stage (requires grid + placement). */
+class LintPass final : public Pass
+{
+  public:
+    const char *name() const override { return "lint"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_LINT_PASS_HPP

@@ -11,8 +11,10 @@
 #ifndef AUTOBRAID_COMPILER_OPTIONS_HPP
 #define AUTOBRAID_COMPILER_OPTIONS_HPP
 
+#include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "sched/policy.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -60,8 +62,27 @@ struct CompileOptions
     Cycles channel_hold_cycles = 0;
     InitialPlacementConfig placement;
 
+    /**
+     * Static-analysis level. Off (the default) skips the lint pass
+     * entirely; any other level inserts it after initial-placement
+     * and surfaces its diagnostics as CompileReport::lint.
+     */
+    lint::LintLevel lint_level = lint::LintLevel::Off;
+
+    /**
+     * Suppressed diagnostic codes: exact ("AB101") or a whole family
+     * ("AB1xx"). Validated against the catalog by validate().
+     */
+    std::vector<std::string> lint_suppressions;
+
+    /** Promote lint warnings to errors (CI gating). */
+    bool lint_werror = false;
+
     /** Build the scheduler config for this option set. */
     SchedulerConfig schedulerConfig() const;
+
+    /** Build the diagnostic-engine options for this option set. */
+    lint::LintOptions lintOptions() const;
 
     /**
      * Reject out-of-range option values for @p circuit with a UserError

@@ -1,7 +1,9 @@
 #include "compiler/passes.hpp"
 
+#include "analysis/diagnostics.hpp"
 #include "circuit/coupling.hpp"
 #include "common/error.hpp"
+#include "common/text.hpp"
 #include "place/initial.hpp"
 #include "place/linear.hpp"
 #include "sched/validator.hpp"
@@ -127,6 +129,26 @@ ReportPass::run(CompileContext &ctx)
     ctx.bump("dispatch_instants",
              static_cast<long>(r.dispatch_instants));
     ctx.bump("gates_scheduled", static_cast<long>(r.gates_scheduled));
+
+    // Cross-check the lint pass's channel-capacity bound against the
+    // achieved makespan. The bound only holds for swap-free schedules
+    // under the lint-time placement, so skip it once relayout or the
+    // Maslov network changed the layout.
+    if (ctx.report.lint && r.valid && r.swaps_inserted == 0 &&
+        !ctx.report.used_maslov) {
+        const auto &metrics = ctx.report.lint->metrics();
+        const auto it = metrics.find("channel_bound_cycles");
+        if (it != metrics.end() && it->second > 0 &&
+            static_cast<Cycles>(it->second) > r.makespan) {
+            ctx.bump("channel_bound_violations");
+            ctx.note(strformat(
+                "report: channel-capacity bound %ld cycles exceeds "
+                "the achieved makespan %llu — the bound is unsound "
+                "for this schedule",
+                it->second,
+                static_cast<unsigned long long>(r.makespan)));
+        }
+    }
 }
 
 } // namespace autobraid

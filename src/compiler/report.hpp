@@ -29,6 +29,10 @@ namespace telemetry {
 class Telemetry;
 } // namespace telemetry
 
+namespace lint {
+class DiagnosticEngine;
+} // namespace lint
+
 /** Wall-clock of one executed pass. */
 struct PassTiming
 {
@@ -69,6 +73,13 @@ struct CompileReport
      * so metricsSummary() stays byte-identical with telemetry on.
      */
     std::shared_ptr<telemetry::Telemetry> telemetry;
+
+    /**
+     * Static-analysis diagnostics of this compilation; null unless
+     * CompileOptions::lint_level enabled the lint pass. Render with
+     * DiagnosticEngine::toText() / toSarif().
+     */
+    std::shared_ptr<lint::DiagnosticEngine> lint;
 
     /** Derived: wall time of the initial-placement pass. */
     double placement_seconds = 0;

@@ -1,5 +1,6 @@
 #include "gen/grover.hpp"
 
+#include "circuit/peephole.hpp"
 #include "common/error.hpp"
 #include "common/text.hpp"
 
@@ -69,7 +70,10 @@ makeGrover(int n, int iterations, uint64_t marked)
     }
     for (Qubit q = 0; q < n; ++q)
         c.measure(q);
-    return c;
+    // The Toffoli network conjugates its target by H, so consecutive
+    // MCZ ladders leave cancelling H·H pairs on the ancillas; strip
+    // that dead work instead of scheduling it.
+    return cancelAdjacentPairs(c).circuit;
 }
 
 } // namespace gen

@@ -1,5 +1,6 @@
 #include "gen/revlib.hpp"
 
+#include "circuit/peephole.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -77,7 +78,10 @@ makeMctNetwork(int qubits, int mct_gates, uint64_t seed,
         } while (b == t || b == a);
         c.ccx(a, b, t);
     }
-    return c;
+    // Adjacent MCT gates on shared targets leave cancelling pairs
+    // (the Toffoli network conjugates its target by H, and random
+    // X/CX draws can repeat); strip the dead work.
+    return cancelAdjacentPairs(c).circuit;
 }
 
 } // namespace gen

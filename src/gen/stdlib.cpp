@@ -1,5 +1,6 @@
 #include "gen/stdlib.hpp"
 
+#include "circuit/peephole.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/text.hpp"
@@ -41,7 +42,22 @@ makeRandomCliffordT(int n, int gates, uint64_t seed,
 
     Rng rng(seed);
     Circuit c(n, strformat("randct%d", n));
-    for (int g = 0; g < gates; ++g) {
+
+    // Reject draws that cancel with the previous gate on their
+    // operands: a random stream otherwise emits adjacent H·H / X·X /
+    // CX·CX pairs that are dead work (the gate count must stay exact,
+    // so redraw instead of stripping afterwards).
+    constexpr GateIdx kNone = static_cast<GateIdx>(-1);
+    std::vector<GateIdx> last(static_cast<size_t>(n), kNone);
+    auto blocked = [&c, &last](const Gate &g) {
+        const GateIdx p0 = last[static_cast<size_t>(g.q0)];
+        if (p0 == kNone)
+            return false;
+        if (g.arity() == 2 && p0 != last[static_cast<size_t>(g.q1)])
+            return false;
+        return gatesCancel(c.gate(p0), g);
+    };
+    auto draw = [&rng, n, cx_fraction]() {
         if (rng.chance(cx_fraction)) {
             const auto a = static_cast<Qubit>(
                 rng.index(static_cast<size_t>(n)));
@@ -50,18 +66,38 @@ makeRandomCliffordT(int n, int gates, uint64_t seed,
                 b = static_cast<Qubit>(
                     rng.index(static_cast<size_t>(n)));
             } while (b == a);
-            c.cx(a, b);
-            continue;
+            return Gate::twoQubit(GateKind::CX, a, b);
         }
         const auto q =
             static_cast<Qubit>(rng.index(static_cast<size_t>(n)));
         switch (rng.intIn(0, 4)) {
-          case 0: c.h(q); break;
-          case 1: c.s(q); break;
-          case 2: c.t(q); break;
-          case 3: c.x(q); break;
-          default: c.z(q); break;
+          case 0: return Gate::oneQubit(GateKind::H, q);
+          case 1: return Gate::oneQubit(GateKind::S, q);
+          case 2: return Gate::oneQubit(GateKind::T, q);
+          case 3: return Gate::oneQubit(GateKind::X, q);
+          default: return Gate::oneQubit(GateKind::Z, q);
         }
+    };
+
+    for (int g = 0; g < gates; ++g) {
+        Gate cand = draw();
+        for (int attempt = 0; blocked(cand); ++attempt) {
+            if (attempt < 8) {
+                cand = draw();
+                continue;
+            }
+            // Deterministic unblock: S never cancels (Sdg is not in
+            // the gate set) and a flipped CX never cancels the
+            // straight one.
+            cand = cand.arity() == 1
+                       ? Gate::oneQubit(GateKind::S, cand.q0)
+                       : Gate::twoQubit(GateKind::CX, cand.q1,
+                                        cand.q0);
+        }
+        const GateIdx idx = c.add(cand);
+        last[static_cast<size_t>(cand.q0)] = idx;
+        if (cand.arity() == 2)
+            last[static_cast<size_t>(cand.q1)] = idx;
     }
     return c;
 }

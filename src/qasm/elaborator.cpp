@@ -35,6 +35,22 @@ class Elaborator
         return std::move(circuit_);
     }
 
+    /** Like run(), also recording each gate's source line. */
+    ElaboratedCircuit
+    runWithLines()
+    {
+        std::vector<int> lines;
+        for (const Statement &stmt : program_->statements) {
+            std::visit([this](const auto &s) { apply(s); }, stmt);
+            // Every gate appended by this statement (including user
+            // gate expansions) maps to the statement's line.
+            const int line =
+                std::visit([](const auto &s) { return s.line; }, stmt);
+            lines.resize(circuit_.size(), line);
+        }
+        return {std::move(circuit_), std::move(lines)};
+    }
+
   private:
     const Program *program_;
     Circuit circuit_;
@@ -362,6 +378,12 @@ Circuit
 elaborate(const Program &program, const std::string &name)
 {
     return Elaborator(program, name).run();
+}
+
+ElaboratedCircuit
+elaborateWithLines(const Program &program, const std::string &name)
+{
+    return Elaborator(program, name).runWithLines();
 }
 
 Circuit

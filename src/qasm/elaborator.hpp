@@ -24,6 +24,22 @@ namespace qasm {
 Circuit elaborate(const Program &program,
                   const std::string &name = "qasm");
 
+/** Elaboration result with per-gate source provenance. */
+struct ElaboratedCircuit
+{
+    Circuit circuit;
+    /** 1-based source line of the statement each gate came from. */
+    std::vector<int> gate_lines;
+};
+
+/**
+ * Lower @p program keeping a gate -> source-line side table. Gates
+ * expanded from a user gate definition map to the call site, so the
+ * table always has exactly circuit.size() entries.
+ */
+ElaboratedCircuit elaborateWithLines(const Program &program,
+                                     const std::string &name = "qasm");
+
 /** Convenience: parse + elaborate source text. */
 Circuit parseToCircuit(const std::string &source,
                        const std::string &name = "qasm");

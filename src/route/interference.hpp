@@ -40,6 +40,7 @@ class InterferenceGraph
 
     /** Nodes still present. */
     size_t size() const { return active_count_; }
+    bool empty() const { return active_count_ == 0; }
 
     /** True when node @p i has been removed. */
     bool removed(size_t i) const { return removed_[i] != 0; }

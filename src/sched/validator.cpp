@@ -143,7 +143,7 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
     // the makespan is defined as the last gate retirement (swap
     // entries may legitimately finish later), and every routed braid
     // leaves exactly one gate entry carrying a path.
-    if (by_gate.size() == circuit.size() && circuit.size() > 0) {
+    if (by_gate.size() == circuit.size() && !circuit.empty()) {
         if (last_gate_finish != result.makespan)
             fail(strformat("last gate finishes at %llu but makespan "
                            "is %llu",

@@ -2,9 +2,11 @@
 
 #include <exception>
 
+#include "analysis/lint.hpp"
 #include "common/error.hpp"
 #include "common/text.hpp"
 #include "compiler/batch.hpp"
+#include "place/initial.hpp"
 #include "place/placement.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/validator.hpp"
@@ -131,16 +133,68 @@ checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
                        static_cast<unsigned long long>(r.makespan),
                        static_cast<unsigned long long>(
                            run.report.critical_path)));
+    // Lint oracle (when the pipeline ran with lint enabled): reaching
+    // this point means the schedule is valid, so any error-level lint
+    // was successfully routed around — but the AB202 channel-capacity
+    // bound must still be sound for swap-free, non-Maslov schedules.
+    if (run.report.lint && r.swaps_inserted == 0 &&
+        !run.report.used_maslov) {
+        const auto &metrics = run.report.lint->metrics();
+        const auto it = metrics.find("channel_bound_cycles");
+        if (it != metrics.end() && it->second > 0 &&
+            static_cast<Cycles>(it->second) > r.makespan) {
+            AUTOBRAID_COUNT("fuzz.lint_bound_violations");
+            fail(strformat(
+                "channel bound %ld cycles exceeds makespan %llu",
+                it->second,
+                static_cast<unsigned long long>(r.makespan)));
+        }
+    }
+}
+
+/**
+ * Lint-never-crashes oracle: the standalone analyses must complete on
+ * every generated circuit/lattice, including cases the compiler later
+ * rejects. Uses the full-policy placement like `autobraid_lint`.
+ */
+void
+checkLintNeverCrashes(const FuzzCase &c,
+                      std::vector<std::string> &failures)
+{
+    try {
+        lint::DiagnosticEngine engine(
+            lint::LintOptions{lint::LintLevel::All, {}, false});
+        const Grid grid = Grid::forQubits(c.circuit.numQubits());
+        SchedulerConfig cfg;
+        cfg.seed = c.options.seed;
+        Rng rng(c.options.seed);
+        const Placement placement = initialPlacement(
+            c.circuit, grid, rng,
+            cfg.placementFor(SchedulerPolicy::AutobraidFull));
+        lint::LintRunConfig run;
+        run.hold = lint::effectiveHold(c.options.cost,
+                                       c.options.channel_hold_cycles);
+        lint::runCircuitAnalyses(c.circuit, grid,
+                                 c.options.dead_vertices, &placement,
+                                 engine, nullptr, run);
+    } catch (const std::exception &e) {
+        AUTOBRAID_COUNT("fuzz.lint_crashes");
+        failures.push_back(strformat("[lint] analyses threw: %s — %s",
+                                     e.what(), c.summary().c_str()));
+    }
 }
 
 } // namespace
 
 DifferentialResult
-runDifferentialCase(const FuzzCase &c, unsigned mask)
+runDifferentialCase(const FuzzCase &c, unsigned mask,
+                    bool lint_oracle)
 {
     AUTOBRAID_SPAN("fuzz.differential_case");
     DifferentialResult out;
     out.seed = c.seed;
+    if (lint_oracle)
+        checkLintNeverCrashes(c, out.failures);
     for (const MaskedPolicy &p : kPolicies) {
         if (!(mask & p.bit))
             continue;
@@ -149,6 +203,8 @@ runDifferentialCase(const FuzzCase &c, unsigned mask)
         CompileOptions opt = c.options;
         opt.policy = p.policy;
         opt.record_trace = true;
+        if (lint_oracle)
+            opt.lint_level = lint::LintLevel::All;
         try {
             run.report = compileCircuit(c.circuit, opt);
             run.compiled = true;

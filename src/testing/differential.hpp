@@ -12,6 +12,14 @@
  * circuit) and the reported critical path must agree. A separate
  * check compiles the same case through BatchCompiler on 1 worker and
  * on N workers and requires byte-identical metricsSummary() output.
+ *
+ * With the lint oracle enabled (the default), every case also runs
+ * the static analyses: the standalone lint entry points must never
+ * throw on any generated circuit/lattice, an error-level lint implies
+ * the compiler either rejected the case or still produced a valid
+ * schedule (routed around the defect), and the AB202 channel-capacity
+ * bound must not exceed the achieved makespan on swap-free,
+ * non-Maslov schedules.
  */
 
 #ifndef AUTOBRAID_TESTING_DIFFERENTIAL_HPP
@@ -66,9 +74,14 @@ struct DifferentialResult
     std::string toString() const;
 };
 
-/** Compile @p c under every policy in @p mask and cross-check. */
+/**
+ * Compile @p c under every policy in @p mask and cross-check. When
+ * @p lint_oracle is set, the pipeline runs with lint_level = All and
+ * the lint invariants above are checked alongside the schedule ones.
+ */
 DifferentialResult runDifferentialCase(const FuzzCase &c,
-                                       unsigned mask = kMaskAll);
+                                       unsigned mask = kMaskAll,
+                                       bool lint_oracle = true);
 
 /**
  * Compile the case's policy variants through BatchCompiler with 1

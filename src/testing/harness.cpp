@@ -43,7 +43,9 @@ makeFailure(const FuzzCase &c, std::vector<std::string> failures,
     FuzzCase probe = c;
     auto stillFails = [&probe, &opt](const Circuit &candidate) {
         probe.circuit = candidate;
-        return !runDifferentialCase(probe, opt.policy_mask).ok;
+        return !runDifferentialCase(probe, opt.policy_mask,
+                                    opt.lint_oracle)
+                    .ok;
     };
     const ShrinkOutcome shrunk =
         shrinkCircuit(c.circuit, stillFails, opt.shrink_options);
@@ -74,7 +76,7 @@ runFuzz(const FuzzOptions &opt)
         AUTOBRAID_SPAN("fuzz.case");
         const FuzzCase c = makeFuzzCase(seed);
         DifferentialResult diff =
-            runDifferentialCase(c, opt.policy_mask);
+            runDifferentialCase(c, opt.policy_mask, opt.lint_oracle);
         ++summary.cases;
         AUTOBRAID_COUNT("fuzz.cases");
 

@@ -1,9 +1,9 @@
 /**
  * @file
  * Fuzz harness driver: expand a seed block into cases, run the
- * differential oracle on each, interleave batch-determinism and
- * degenerate-lattice checks on fixed strides, and shrink every failing
- * circuit to a minimal reproducer.
+ * differential oracle (plus the static-analysis lint oracle) on each,
+ * interleave batch-determinism and degenerate-lattice checks on fixed
+ * strides, and shrink every failing circuit to a minimal reproducer.
  *
  * The harness is deterministic given (start_seed, seeds, policy_mask,
  * strides); the wall-clock budget only decides how far through the
@@ -31,6 +31,7 @@ struct FuzzOptions
     unsigned policy_mask = kMaskAll;
     int batch_stride = 8;      ///< batch-determinism every Nth case (0=off)
     int degenerate_stride = 16; ///< strip-grid case every Nth seed (0=off)
+    bool lint_oracle = true;   ///< run the static-analysis oracle
     bool shrink = true;        ///< shrink failing circuits
     ShrinkOptions shrink_options;
 };

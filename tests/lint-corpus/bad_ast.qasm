@@ -1,0 +1,13 @@
+// Seeded AST-level defects: AB101 (line 7), AB102 (line 11),
+// AB104 (register 'scratch'), AB105 (lines 8 and 12).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+qreg w[2];
+cx q[1], q[1];
+cx q, w;
+creg c[3];
+measure q[0] -> c[0];
+h q[0];
+measure q[1] -> c[7];
+creg scratch[4];

@@ -1,0 +1,13 @@
+// Seeded circuit-level defects after elaboration: AB106 (the H pair
+// on line 8 cancels line 7), AB103 (q[3] never used), AB107 (q[0]
+// consumes all 16 T gates).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[1];
+h q[1];
+cx q[0], q[2];
+t q[0]; t q[0]; t q[0]; t q[0];
+t q[0]; t q[0]; t q[0]; t q[0];
+t q[0]; t q[0]; t q[0]; t q[0];
+t q[0]; t q[0]; t q[0]; t q[0];

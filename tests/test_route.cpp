@@ -291,7 +291,7 @@ TEST(Interference, BucketPeelMatchesFullRescan)
             InterferenceGraph ig(tasks);
             NaivePeelReference ref(ig);
             bool pick_front = true;
-            while (ig.size() > 0) {
+            while (!ig.empty()) {
                 ASSERT_EQ(ig.maxDegree(), ref.maxDegree())
                     << "seed " << seed << " count " << count;
                 const auto got = ig.maxDegreeNodes();

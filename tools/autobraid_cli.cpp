@@ -29,6 +29,16 @@
  *     --draw                      ASCII placement + braid activity
  *     --stats                     print circuit statistics up front
  *     --list                      list benchmark spec families
+ *     --lint                      run the static-analysis pass and
+ *                                 print its diagnostics
+ *     --lint-out=FILE             write lint results as SARIF 2.1.0
+ *                                 JSON (single input; implies --lint)
+ *     --lint-werror               promote lint warnings to errors and
+ *                                 exit nonzero on any lint error
+ *                                 (implies --lint)
+ *     --lint-suppress=CODES       comma-separated diagnostic codes
+ *                                 (AB101) or families (AB1xx) to
+ *                                 suppress
  *
  * The option list above is mirrored by usage(); test_cli_doc checks the
  * two stay in sync.
@@ -74,6 +84,7 @@ struct CliOptions
     int jobs = 1;
     std::string trace_out;
     std::string metrics_out;
+    std::string lint_out;
     std::vector<std::string> inputs;
 };
 
@@ -87,7 +98,9 @@ usage(int code)
         "  --no-maslov  --defects=N  --teleport=HOLD  --compare\n"
         "  --sweep-p  --jobs=N  --timings  --json  --json-trace\n"
         "  --trace-out=FILE  --metrics-out=FILE\n"
-        "  --draw  --stats  --list\n");
+        "  --draw  --stats  --list\n"
+        "  --lint  --lint-out=FILE  --lint-werror\n"
+        "  --lint-suppress=CODES\n");
     std::exit(code);
 }
 
@@ -159,6 +172,19 @@ parseArgs(int argc, char **argv)
             opts.metrics_out = value;
         } else if (std::strcmp(arg, "--draw") == 0) {
             opts.draw = true;
+        } else if (std::strcmp(arg, "--lint") == 0) {
+            opts.compile.lint_level = lint::LintLevel::All;
+        } else if (matchValue(arg, "--lint-out", value)) {
+            opts.lint_out = value;
+            if (opts.compile.lint_level == lint::LintLevel::Off)
+                opts.compile.lint_level = lint::LintLevel::All;
+        } else if (std::strcmp(arg, "--lint-werror") == 0) {
+            opts.compile.lint_werror = true;
+            if (opts.compile.lint_level == lint::LintLevel::Off)
+                opts.compile.lint_level = lint::LintLevel::All;
+        } else if (matchValue(arg, "--lint-suppress", value)) {
+            for (const std::string &code : split(value, ','))
+                opts.compile.lint_suppressions.push_back(code);
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", arg);
             usage(2);
@@ -171,6 +197,12 @@ parseArgs(int argc, char **argv)
     if (!opts.trace_out.empty() &&
         (opts.inputs.size() != 1 || opts.compare || opts.sweep_p)) {
         std::fprintf(stderr, "--trace-out needs exactly one input and "
+                             "no --compare/--sweep-p\n");
+        usage(2);
+    }
+    if (!opts.lint_out.empty() &&
+        (opts.inputs.size() != 1 || opts.compare || opts.sweep_p)) {
+        std::fprintf(stderr, "--lint-out needs exactly one input and "
                              "no --compare/--sweep-p\n");
         usage(2);
     }
@@ -278,11 +310,23 @@ runOne(const CliOptions &opts, const std::string &input,
                     SchedulerPolicy::AutobraidSP,
                     SchedulerPolicy::AutobraidFull};
 
+    int rc = 0;
     for (SchedulerPolicy policy : policies) {
         CompileOptions o = compile;
         o.policy = policy;
         const CompileReport report = compileCircuit(circuit, o);
         mergeReportMetrics(metrics, report);
+        if (report.lint) {
+            // Diagnostics go to stderr so --json output stays clean.
+            const std::string text = report.lint->toText();
+            if (!text.empty())
+                std::fprintf(stderr, "%s", text.c_str());
+            if (!opts.lint_out.empty())
+                writeTextFile(opts.lint_out,
+                              report.lint->toSarif() + "\n");
+            if (o.lint_werror && report.lint->hasErrors())
+                rc = 1;
+        }
         if (!opts.trace_out.empty())
             writeTextFile(
                 opts.trace_out,
@@ -310,7 +354,7 @@ runOne(const CliOptions &opts, const std::string &input,
                         viz::renderActivity(report.result).c_str());
         }
     }
-    return 0;
+    return rc;
 }
 
 /**
@@ -340,6 +384,15 @@ runBatch(const CliOptions &opts)
                          res.label.c_str(), res.error.c_str());
             rc = 1;
             continue;
+        }
+        if (res.report.lint) {
+            const std::string text = res.report.lint->toText();
+            if (!text.empty())
+                std::fprintf(stderr, "%s: %s", res.label.c_str(),
+                             text.c_str());
+            if (opts.compile.lint_werror &&
+                res.report.lint->hasErrors())
+                rc = 1;
         }
         if (opts.json) {
             std::printf("%s\n",

@@ -5,8 +5,10 @@
  * Expands a block of seeds into random circuits and compiles each one
  * under every selected scheduler policy, cross-checking the schedules
  * with the strengthened validator, the retired-gate/critical-path
- * invariants, batch jobs=1-vs-N determinism, and degenerate strip
- * lattices. Failing seeds are shrunk to minimal reproducers.
+ * invariants, batch jobs=1-vs-N determinism, degenerate strip
+ * lattices, and the static-analysis lint oracle (lint never crashes;
+ * the channel-capacity bound stays below the achieved makespan).
+ * Failing seeds are shrunk to minimal reproducers.
  *
  *   autobraid_fuzz [options]
  *
@@ -21,6 +23,7 @@
  *                           (default 8; 0 disables)
  *     --degenerate-stride=N strip-lattice case every Nth seed
  *                           (default 16; 0 disables)
+ *     --no-lint-oracle      skip the static-analysis lint oracle
  *     --no-shrink           keep failing circuits unshrunk
  *     --repro-out=FILE      write the first failure's shrunken
  *                           reproducer as OpenQASM
@@ -62,7 +65,8 @@ usage(int code)
         "  --seeds=N --start-seed=S --budget-seconds=F\n"
         "  --policy-mask=M   number (1=baseline 2=sp 4=full 7=all)\n"
         "                    or names: baseline,sp,full,all\n"
-        "  --batch-stride=N --degenerate-stride=N --no-shrink\n"
+        "  --batch-stride=N --degenerate-stride=N\n"
+        "  --no-lint-oracle --no-shrink\n"
         "  --repro-out=FILE  first failure's reproducer as OpenQASM\n"
         "  --metrics-out=FILE  fuzz telemetry metrics as JSON\n"
         "Options also accept the two-token \"--key value\" form.\n");
@@ -118,6 +122,8 @@ parseArgs(int argc, char **argv)
         } else if (matchValue(argc, argv, i, "--degenerate-stride",
                               value)) {
             opts.fuzz.degenerate_stride = std::stoi(value);
+        } else if (std::strcmp(arg, "--no-lint-oracle") == 0) {
+            opts.fuzz.lint_oracle = false;
         } else if (std::strcmp(arg, "--no-shrink") == 0) {
             opts.fuzz.shrink = false;
         } else if (matchValue(argc, argv, i, "--repro-out", value)) {

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * autobraid_lint — standalone static-analysis driver.
+ *
+ * Lints OpenQASM 2.0 files or built-in benchmark specs without
+ * scheduling them: the AST-level lints run on the parsed program
+ * (with real source locations), the circuit lints on the elaborated
+ * gate list (with per-gate provenance), and the layout/LLG lints
+ * against the grid and a seeded initial placement. All inputs share
+ * one DiagnosticEngine, so --sarif-out produces a single SARIF run
+ * covering the whole invocation.
+ *
+ *   autobraid_lint [options] <spec-or-file>...
+ *
+ *     --level=errors|warnings|all  minimum severity kept (default all)
+ *     --suppress=CODES             comma-separated diagnostic codes
+ *                                  (AB101) or families (AB1xx)
+ *     --werror                     promote warnings to errors
+ *     --sarif-out=FILE             write SARIF 2.1.0 JSON ("-" =
+ *                                  stdout)
+ *     --policy=baseline|sp|full    placement policy (default full)
+ *     --distance=D                 code distance (default 33)
+ *     --teleport=HOLD              teleport-style channel hold cycles
+ *     --seed=S                     placement seed
+ *     --defects=N                  inject N random dead vertices
+ *     --dead=V1,V2,...             mark exact vertex ids dead (raw,
+ *                                  unlike --defects: invariant-
+ *                                  violating sets are the point —
+ *                                  this is how AB201/AB203 trigger)
+ *     --quiet                      suppress the text report
+ *     --list                       list the diagnostic catalog
+ *
+ * Exit status: 0 = no error-level diagnostics, 1 = errors (including
+ * warnings promoted by --werror) or an input failure, 2 = bad usage.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "compiler/options.hpp"
+#include "gen/registry.hpp"
+#include "lattice/defects.hpp"
+#include "place/initial.hpp"
+#include "qasm/elaborator.hpp"
+#include "qasm/parser.hpp"
+
+using namespace autobraid;
+
+namespace {
+
+struct LintCliOptions
+{
+    lint::LintOptions diag;
+    SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
+    CostModel cost;
+    Cycles teleport_hold = 0;
+    uint64_t seed = 2021;
+    int defects = 0;
+    std::vector<VertexId> dead;
+    bool quiet = false;
+    std::string sarif_out;
+    std::vector<std::string> inputs;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: autobraid_lint [options] <spec-or-file>...\n"
+        "  --level=errors|warnings|all  --suppress=CODES  --werror\n"
+        "  --sarif-out=FILE  --policy=baseline|sp|full  --distance=D\n"
+        "  --teleport=HOLD  --seed=S  --defects=N  --dead=V1,V2,...\n"
+        "  --quiet  --list\n");
+    std::exit(code);
+}
+
+bool
+matchValue(const char *arg, const char *key, std::string &value)
+{
+    const size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) != 0 || arg[len] != '=')
+        return false;
+    value = arg + len + 1;
+    return true;
+}
+
+LintCliOptions
+parseArgs(int argc, char **argv)
+{
+    LintCliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::string value;
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(0);
+        } else if (std::strcmp(arg, "--list") == 0) {
+            std::printf("diagnostic catalog:\n");
+            for (const lint::DiagInfo &info :
+                 lint::diagnosticCatalog())
+                std::printf("  %s  %-7s  %s\n", info.code,
+                            lint::severityName(info.severity),
+                            info.summary);
+            std::exit(0);
+        } else if (matchValue(arg, "--level", value)) {
+            if (value == "errors")
+                opts.diag.level = lint::LintLevel::Errors;
+            else if (value == "warnings")
+                opts.diag.level = lint::LintLevel::Warnings;
+            else if (value == "all")
+                opts.diag.level = lint::LintLevel::All;
+            else
+                usage(2);
+        } else if (matchValue(arg, "--suppress", value)) {
+            for (const std::string &code : split(value, ','))
+                opts.diag.suppressions.push_back(code);
+        } else if (std::strcmp(arg, "--werror") == 0 ||
+                   std::strcmp(arg, "--lint-werror") == 0) {
+            opts.diag.werror = true;
+        } else if (matchValue(arg, "--sarif-out", value)) {
+            opts.sarif_out = value;
+        } else if (matchValue(arg, "--policy", value)) {
+            if (value == "baseline")
+                opts.policy = SchedulerPolicy::Baseline;
+            else if (value == "sp")
+                opts.policy = SchedulerPolicy::AutobraidSP;
+            else if (value == "full")
+                opts.policy = SchedulerPolicy::AutobraidFull;
+            else
+                usage(2);
+        } else if (matchValue(arg, "--distance", value)) {
+            opts.cost.distance = std::stoi(value);
+        } else if (matchValue(arg, "--teleport", value)) {
+            opts.teleport_hold =
+                static_cast<Cycles>(std::stoull(value));
+        } else if (matchValue(arg, "--seed", value)) {
+            opts.seed = static_cast<uint64_t>(std::stoull(value));
+        } else if (matchValue(arg, "--defects", value)) {
+            opts.defects = std::stoi(value);
+        } else if (matchValue(arg, "--dead", value)) {
+            for (const std::string &v : split(value, ','))
+                opts.dead.push_back(
+                    static_cast<VertexId>(std::stoul(v)));
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            opts.quiet = true;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage(2);
+        } else {
+            opts.inputs.emplace_back(arg);
+        }
+    }
+    if (opts.inputs.empty())
+        usage(2);
+    return opts;
+}
+
+bool
+isQasmPath(const std::string &input)
+{
+    return input.find(".qasm") != std::string::npos ||
+           input.find('/') != std::string::npos;
+}
+
+/** Lint one input into @p engine; false on a hard input failure. */
+bool
+lintInput(const LintCliOptions &opts, const std::string &input,
+          lint::DiagnosticEngine &engine)
+{
+    Circuit circuit(1);
+    lint::GateProvenance prov;
+    const lint::GateProvenance *prov_ptr = nullptr;
+
+    if (isQasmPath(input)) {
+        const qasm::Program program = qasm::parseFile(input);
+        lint::runProgramAnalyses(program, engine, input);
+        // Elaboration can reject what the AST lints already flagged
+        // (e.g. AB105 width mismatches); keep those diagnostics and
+        // skip the circuit-level families for this input.
+        try {
+            qasm::ElaboratedCircuit ec =
+                qasm::elaborateWithLines(program, input);
+            circuit = std::move(ec.circuit);
+            prov.file = input;
+            prov.lines = std::move(ec.gate_lines);
+            prov_ptr = &prov;
+        } catch (const UserError &e) {
+            std::fprintf(stderr, "%s: not elaborated: %s\n",
+                         input.c_str(), e.what());
+            return true;
+        }
+    } else {
+        circuit = gen::make(input);
+    }
+
+    const Grid grid = Grid::forQubits(circuit.numQubits());
+    // --dead is deliberately raw: DefectMap::random only produces
+    // invariant-respecting sets, so the structural layout lints
+    // (AB201/AB203) can only ever fire on an explicit list.
+    std::vector<VertexId> dead = opts.dead;
+    if (opts.defects > 0) {
+        Rng defect_rng(opts.seed ^ 0xdefecu);
+        for (VertexId v :
+             DefectMap::random(grid, opts.defects, defect_rng)
+                 .deadVertices())
+            dead.push_back(v);
+    }
+
+    SchedulerConfig cfg;
+    cfg.policy = opts.policy;
+    cfg.seed = opts.seed;
+    Rng rng(opts.seed);
+    const Placement placement = initialPlacement(
+        circuit, grid, rng, cfg.placementFor(opts.policy));
+
+    lint::LintRunConfig run;
+    run.hold = lint::effectiveHold(opts.cost, opts.teleport_hold);
+    lint::runCircuitAnalyses(circuit, grid, dead, &placement, engine,
+                             prov_ptr, run);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const LintCliOptions opts = parseArgs(argc, argv);
+    lint::DiagnosticEngine engine(opts.diag);
+    bool input_failed = false;
+    for (const std::string &input : opts.inputs) {
+        try {
+            if (!lintInput(opts, input, engine))
+                input_failed = true;
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s: %s\n", input.c_str(),
+                         e.what());
+            input_failed = true;
+        }
+    }
+
+    if (!opts.quiet) {
+        const std::string text = engine.toText();
+        if (!text.empty())
+            std::fputs(text.c_str(), stdout);
+    }
+    if (!opts.sarif_out.empty()) {
+        const std::string sarif = engine.toSarif() + "\n";
+        try {
+            if (opts.sarif_out == "-")
+                std::fputs(sarif.c_str(), stdout);
+            else
+                writeTextFile(opts.sarif_out, sarif);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    return (engine.hasErrors() || input_failed) ? 1 : 0;
+}
