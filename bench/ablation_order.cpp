@@ -59,15 +59,11 @@ orderAblation()
         PathFinder *finders[4] = {&stack, &dist, &prog, &largest};
         double ratio[4] = {0, 0, 0, 0};
         const int trials = 25;
+        const auto free = noBlockedVertices(grid);
         for (int t = 0; t < trials; ++t) {
             const auto layer = randomLayer(grid, tasks_n, rng);
             for (int f = 0; f < 4; ++f)
-                ratio[f] += finders[f]
-                                ->findPaths(layer,
-                                            [](VertexId) {
-                                                return false;
-                                            })
-                                .ratio;
+                ratio[f] += finders[f]->findPaths(layer, free).ratio;
         }
         table.addRow({strformat("%dx%d", side, side),
                       std::to_string(tasks_n),
@@ -94,9 +90,9 @@ cornerAblation()
         GreedyPathFinder fixed(grid, GreedyOrder::Distance, false);
         double r_all = 0, r_fixed = 0;
         const int trials = 25;
+        const auto free = noBlockedVertices(grid);
         for (int t = 0; t < trials; ++t) {
             const auto layer = randomLayer(grid, tasks_n, rng);
-            const auto free = [](VertexId) { return false; };
             r_all += all.findPaths(layer, free).ratio;
             r_fixed += fixed.findPaths(layer, free).ratio;
         }

@@ -13,6 +13,7 @@
 #include "gen/qft.hpp"
 #include "llg/llg.hpp"
 #include "place/annealer.hpp"
+#include "lattice/occupancy.hpp"
 #include "route/greedy_finder.hpp"
 #include "route/stack_finder.hpp"
 
@@ -45,7 +46,7 @@ BM_AStarRoute(benchmark::State &state)
     const int side = static_cast<int>(state.range(0));
     Grid grid(side, side);
     AStarRouter router(grid);
-    const auto free = [](VertexId) { return false; };
+    const auto free = noBlockedVertices(grid);
     for (auto _ : state) {
         auto p = router.route(Cell{0, 0}, Cell{side - 1, side - 1},
                               free);
@@ -62,7 +63,7 @@ BM_StackFinderLayer(benchmark::State &state)
     const auto tasks = randomTasks(
         grid, static_cast<int>(state.range(0)), 42);
     StackPathFinder finder(grid);
-    const auto free = [](VertexId) { return false; };
+    const auto free = noBlockedVertices(grid);
     for (auto _ : state) {
         auto outcome = finder.findPaths(tasks, free);
         benchmark::DoNotOptimize(outcome);
@@ -78,13 +79,62 @@ BM_GreedyFinderLayer(benchmark::State &state)
     const auto tasks = randomTasks(
         grid, static_cast<int>(state.range(0)), 42);
     GreedyPathFinder finder(grid, GreedyOrder::Distance);
-    const auto free = [](VertexId) { return false; };
+    const auto free = noBlockedVertices(grid);
     for (auto _ : state) {
         auto outcome = finder.findPaths(tasks, free);
         benchmark::DoNotOptimize(outcome);
     }
 }
 BENCHMARK(BM_GreedyFinderLayer)->Arg(8)->Arg(32)->Arg(96);
+
+/**
+ * Random CX tasks that may share operand cells (a != b per task), so
+ * layers denser than numCells/2 — the regime where routing cost
+ * dominates batch compiles — can be generated on small grids.
+ */
+std::vector<CxTask>
+randomDenseTasks(const Grid &grid, int count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<CxTask> tasks;
+    tasks.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const CellId a =
+            static_cast<CellId>(rng.intIn(0, grid.numCells() - 1));
+        CellId b = a;
+        while (b == a)
+            b = static_cast<CellId>(
+                rng.intIn(0, grid.numCells() - 1));
+        tasks.push_back(CxTask::make(static_cast<GateIdx>(i),
+                                     grid.cell(a), grid.cell(b)));
+    }
+    return tasks;
+}
+
+void
+BM_RoutingStage(benchmark::State &state)
+{
+    // The scheduler's per-instant routing stage on the paper's 20x20
+    // lattice: the stack finder routes N concurrent tasks against the
+    // dispatch-time blocked view (dead ∨ occupied vertices).
+    Grid grid(20, 20);
+    const auto tasks = randomDenseTasks(
+        grid, static_cast<int>(state.range(0)), 42);
+    StackPathFinder finder(grid);
+    TimedOccupancy occ(grid);
+    std::vector<uint8_t> blocked(
+        static_cast<size_t>(grid.numVertices()), 0);
+    const LatticeTime t = 0;
+    occ.advanceTo(t);
+    for (VertexId v = 0; v < grid.numVertices(); ++v)
+        blocked[static_cast<size_t>(v)] =
+            occ.freeAt(v, t) ? 0 : 1;
+    for (auto _ : state) {
+        auto outcome = finder.findPaths(tasks, blocked);
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(BM_RoutingStage)->Arg(64)->Arg(256)->Arg(1000);
 
 void
 BM_ComputeLlgs(benchmark::State &state)

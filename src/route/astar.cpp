@@ -1,12 +1,37 @@
 #include "route/astar.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <array>
 
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace autobraid {
+
+std::vector<uint8_t>
+noBlockedVertices(const Grid &grid)
+{
+    return std::vector<uint8_t>(static_cast<size_t>(grid.numVertices()),
+                                0);
+}
+
+namespace {
+
+/** Smaller f first; larger g preferred on ties (keeps the frontier
+ * tight). Inverted for heap use (std::push_heap keeps the max first). */
+struct OpenLater
+{
+    bool
+    operator()(const std::tuple<int32_t, int32_t, VertexId> &a,
+               const std::tuple<int32_t, int32_t, VertexId> &b) const
+    {
+        if (std::get<0>(a) != std::get<0>(b))
+            return std::get<0>(a) > std::get<0>(b);
+        return std::get<1>(a) < std::get<1>(b);
+    }
+};
+
+} // namespace
 
 AStarRouter::AStarRouter(const Grid &grid)
     : grid_(&grid),
@@ -16,9 +41,9 @@ AStarRouter::AStarRouter(const Grid &grid)
 {}
 
 std::optional<Path>
-AStarRouter::route(const Cell &src, const Cell &dst,
-                   const BlockedFn &blocked, const BBox *confine,
-                   unsigned src_corners, unsigned dst_corners)
+AStarRouter::route(const Cell &src, const Cell &dst, BlockedMask blocked,
+                   const BBox *confine, unsigned src_corners,
+                   unsigned dst_corners)
 {
     require(!(src == dst), "AStarRouter::route: source equals target");
     require(grid_->inBounds(src) && grid_->inBounds(dst),
@@ -26,6 +51,9 @@ AStarRouter::route(const Cell &src, const Cell &dst,
     require((src_corners & kAllCorners) != 0 &&
                 (dst_corners & kAllCorners) != 0,
             "AStarRouter::route: empty corner mask");
+    require(blocked.size() ==
+                static_cast<size_t>(grid_->numVertices()),
+            "AStarRouter::route: blocked mask does not cover the grid");
 
     ++stamp_;
     const auto targets = grid_->corners(dst);
@@ -50,21 +78,13 @@ AStarRouter::route(const Cell &src, const Cell &dst,
         return false;
     };
     auto usable = [&](VertexId v) {
-        if (blocked(v))
+        if (blocked[v])
             return false;
         return !confine || confine->contains(grid_->vertex(v));
     };
 
-    // (f, g, vertex); smaller f first, larger g preferred on ties (keeps
-    // the frontier tight).
-    using Entry = std::tuple<int32_t, int32_t, VertexId>;
-    auto cmp = [](const Entry &a, const Entry &b) {
-        if (std::get<0>(a) != std::get<0>(b))
-            return std::get<0>(a) > std::get<0>(b);
-        return std::get<1>(a) < std::get<1>(b);
-    };
-    std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)>
-        open(cmp);
+    open_.clear();
+    const OpenLater later{};
 
     const auto source_ids = grid_->cornerIds(src);
     for (int i = 0; i < 4; ++i) {
@@ -79,16 +99,18 @@ AStarRouter::route(const Cell &src, const Cell &dst,
         seen_[idx] = stamp_;
         dist_[idx] = 1; // cost counts vertices consumed
         parent_[idx] = -1;
-        open.emplace(1 + heuristic(grid_->vertex(s)), 1, s);
+        open_.emplace_back(1 + heuristic(grid_->vertex(s)), 1, s);
+        std::push_heap(open_.begin(), open_.end(), later);
     }
 
     // Search-effort telemetry: expansions per query feed the
     // "route.astar_nodes" histogram (no-op without a sink).
     size_t expanded = 0;
     std::array<VertexId, 4> nbrs;
-    while (!open.empty()) {
-        const auto [f, g, v] = open.top();
-        open.pop();
+    while (!open_.empty()) {
+        const auto [f, g, v] = open_.front();
+        std::pop_heap(open_.begin(), open_.end(), later);
+        open_.pop_back();
         const auto vi = static_cast<size_t>(v);
         if (dist_[vi] != g || seen_[vi] != stamp_)
             continue; // stale entry
@@ -115,7 +137,8 @@ AStarRouter::route(const Cell &src, const Cell &dst,
             seen_[wi] = stamp_;
             dist_[wi] = ng;
             parent_[wi] = v;
-            open.emplace(ng + heuristic(grid_->vertex(w)), ng, w);
+            open_.emplace_back(ng + heuristic(grid_->vertex(w)), ng, w);
+            std::push_heap(open_.begin(), open_.end(), later);
         }
     }
     AUTOBRAID_OBSERVE("route.astar_nodes",

@@ -14,8 +14,9 @@
 #ifndef AUTOBRAID_ROUTE_ASTAR_HPP
 #define AUTOBRAID_ROUTE_ASTAR_HPP
 
-#include <functional>
+#include <cstdint>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "lattice/geometry.hpp"
@@ -23,12 +24,61 @@
 
 namespace autobraid {
 
-/** Predicate: true when a vertex is unavailable for routing. */
-using BlockedFn = std::function<bool(VertexId)>;
+/**
+ * Flat blocked mask over all grid vertices: byte v is non-zero when
+ * vertex v is unavailable for routing (dead or occupied). A non-owning
+ * view — the caller keeps the bytes alive for the duration of the
+ * query. This replaces the former std::function<bool(VertexId)>
+ * predicate so the A* inner loop reads one byte per probe instead of
+ * making an indirect call through a closure.
+ */
+class BlockedMask
+{
+  public:
+    BlockedMask() = default;
+
+    BlockedMask(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {}
+
+    /** View over @p bytes (one byte per vertex). */
+    /* implicit */ BlockedMask(const std::vector<uint8_t> &bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {}
+
+    /** True when vertex @p v is unavailable. */
+    bool operator[](VertexId v) const
+    {
+        return data_[static_cast<size_t>(v)] != 0;
+    }
+
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+
+  private:
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+};
+
+/** Materialize a blocked byte-mask from a predicate (tests, tools). */
+template <typename Pred>
+std::vector<uint8_t>
+materializeBlocked(const Grid &grid, Pred &&pred)
+{
+    std::vector<uint8_t> bytes(static_cast<size_t>(grid.numVertices()),
+                               0);
+    for (VertexId v = 0; v < grid.numVertices(); ++v)
+        bytes[static_cast<size_t>(v)] = pred(v) ? 1 : 0;
+    return bytes;
+}
+
+/** All-free blocked mask bytes for @p grid (tests, benches). */
+std::vector<uint8_t> noBlockedVertices(const Grid &grid);
 
 /**
- * Reusable A* router. Scratch buffers are owned by the instance and
- * stamped per query, so repeated route() calls do not reallocate.
+ * Reusable A* router. Scratch buffers (visit stamps, distances,
+ * parents, and the open list) are owned by the instance and stamped
+ * per query, so repeated route() calls do not allocate.
  */
 class AStarRouter
 {
@@ -50,7 +100,8 @@ class AStarRouter
      *
      * @param src source tile (must differ from @p dst)
      * @param dst target tile
-     * @param blocked vertices unavailable to this path
+     * @param blocked byte per grid vertex; non-zero = unavailable to
+     *        this path (must cover every vertex of the grid)
      * @param confine optional box; when non-null the path may only use
      *        vertices inside or on it (LLG-local routing)
      * @param src_corners bitmask over the NW/NE/SW/SE corners of @p src
@@ -60,7 +111,7 @@ class AStarRouter
      * @return the path, or std::nullopt when no free path exists.
      */
     std::optional<Path> route(const Cell &src, const Cell &dst,
-                              const BlockedFn &blocked,
+                              BlockedMask blocked,
                               const BBox *confine = nullptr,
                               unsigned src_corners = kAllCorners,
                               unsigned dst_corners = kAllCorners);
@@ -69,11 +120,15 @@ class AStarRouter
     const Grid &grid() const { return *grid_; }
 
   private:
+    /** (f, g, vertex) open-list entry; see route() for the ordering. */
+    using OpenEntry = std::tuple<int32_t, int32_t, VertexId>;
+
     const Grid *grid_;
     uint32_t stamp_ = 0;
     std::vector<uint32_t> seen_;    // stamp when visited this query
     std::vector<int32_t> dist_;
     std::vector<VertexId> parent_;
+    std::vector<OpenEntry> open_;   // binary-heap storage, reused
 };
 
 } // namespace autobraid

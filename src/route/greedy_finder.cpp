@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "lattice/occupancy.hpp"
+#include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace autobraid {
@@ -30,7 +30,7 @@ GreedyPathFinder::name() const
 
 RoutingOutcome
 GreedyPathFinder::findPaths(const std::vector<CxTask> &tasks,
-                            const BlockedFn &blocked)
+                            BlockedMask blocked)
 {
     RoutingOutcome outcome;
     if (tasks.empty())
@@ -38,41 +38,43 @@ GreedyPathFinder::findPaths(const std::vector<CxTask> &tasks,
     AUTOBRAID_SPAN("route.greedy_finder");
     AUTOBRAID_OBSERVE("route.greedy_tasks",
                       static_cast<double>(tasks.size()));
+    require(blocked.size() ==
+                static_cast<size_t>(router_.grid().numVertices()),
+            "GreedyPathFinder: blocked mask does not cover the grid");
 
-    std::vector<size_t> order(tasks.size());
-    std::iota(order.begin(), order.end(), 0);
+    order_scratch_.resize(tasks.size());
+    std::iota(order_scratch_.begin(), order_scratch_.end(), 0);
     if (order_ == GreedyOrder::Distance) {
-        std::stable_sort(order.begin(), order.end(),
+        std::stable_sort(order_scratch_.begin(), order_scratch_.end(),
                          [&tasks](size_t x, size_t y) {
                              return tasks[x].a.dist(tasks[x].b) <
                                     tasks[y].a.dist(tasks[y].b);
                          });
     } else if (order_ == GreedyOrder::Largest) {
-        std::stable_sort(order.begin(), order.end(),
+        std::stable_sort(order_scratch_.begin(), order_scratch_.end(),
                          [&tasks](size_t x, size_t y) {
                              return tasks[x].a.dist(tasks[x].b) >
                                     tasks[y].a.dist(tasks[y].b);
                          });
     } else if (order_ == GreedyOrder::Criticality) {
-        std::stable_sort(order.begin(), order.end(),
+        std::stable_sort(order_scratch_.begin(), order_scratch_.end(),
                          [&tasks](size_t x, size_t y) {
                              return tasks[x].priority >
                                     tasks[y].priority;
                          });
     }
 
-    Occupancy claimed(router_.grid());
-    auto unavailable = [&](VertexId v) {
-        return blocked(v) || !claimed.free(v);
-    };
-    for (size_t idx : order) {
-        auto path = router_.route(tasks[idx].a, tasks[idx].b, unavailable,
-                                  nullptr, corner_mask_, corner_mask_);
+    unavailable_.assign(blocked.data(), blocked.data() + blocked.size());
+    for (size_t idx : order_scratch_) {
+        auto path = router_.route(tasks[idx].a, tasks[idx].b,
+                                  BlockedMask(unavailable_), nullptr,
+                                  corner_mask_, corner_mask_);
         if (!path) {
             outcome.failed.push_back(idx);
             continue;
         }
-        claimed.claim(path->vertices);
+        for (VertexId v : path->vertices)
+            unavailable_[static_cast<size_t>(v)] = 1;
         outcome.routed.emplace_back(idx, std::move(*path));
     }
     outcome.ratio = static_cast<double>(outcome.routed.size()) /

@@ -8,6 +8,10 @@
  * by distance, with no interference-graph ordering and no global view.
  * An alternative program-order mode is provided for the ordering
  * ablation bench.
+ *
+ * Like the stack finder, the ordering and claimed-vertex scratch
+ * persists across findPaths() calls so the routing inner loop does not
+ * allocate per dispatch instant.
  */
 
 #ifndef AUTOBRAID_ROUTE_GREEDY_FINDER_HPP
@@ -42,7 +46,7 @@ class GreedyPathFinder : public PathFinder
                               bool all_corners = false);
 
     RoutingOutcome findPaths(const std::vector<CxTask> &tasks,
-                             const BlockedFn &blocked) override;
+                             BlockedMask blocked) override;
 
     const char *name() const override;
 
@@ -50,6 +54,11 @@ class GreedyPathFinder : public PathFinder
     AStarRouter router_;
     GreedyOrder order_;
     unsigned corner_mask_;
+
+    // Persistent per-instant scratch, reused across findPaths calls.
+    std::vector<size_t> order_scratch_;
+    /** Caller's blocked mask merged with vertices claimed this call. */
+    std::vector<uint8_t> unavailable_;
 };
 
 } // namespace autobraid

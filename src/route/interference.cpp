@@ -7,13 +7,26 @@
 namespace autobraid {
 
 InterferenceGraph::InterferenceGraph(const std::vector<CxTask> &tasks)
-    : adj_(tasks.size()),
-      degree_(tasks.size(), 0),
-      removed_(tasks.size(), 0),
-      active_count_(tasks.size())
 {
-    for (size_t i = 0; i < tasks.size(); ++i) {
-        for (size_t j = i + 1; j < tasks.size(); ++j) {
+    rebuild(tasks);
+}
+
+void
+InterferenceGraph::rebuild(const std::vector<CxTask> &tasks)
+{
+    const size_t n = tasks.size();
+    // Clear surviving adjacency rows before resizing so their heap
+    // buffers are kept; rows beyond n are dropped, new rows start
+    // empty.
+    const size_t keep = std::min(adj_.size(), n);
+    for (size_t i = 0; i < keep; ++i)
+        adj_[i].clear();
+    adj_.resize(n);
+    degree_.assign(n, 0);
+    removed_.assign(n, 0);
+    active_count_ = n;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
             if (tasks[i].bbox.intersects(tasks[j].bbox)) {
                 adj_[i].push_back(j);
                 adj_[j].push_back(i);
@@ -22,11 +35,15 @@ InterferenceGraph::InterferenceGraph(const std::vector<CxTask> &tasks)
             }
         }
     }
-    for (size_t i = 0; i < tasks.size(); ++i)
+    max_degree_bound_ = 0;
+    for (size_t i = 0; i < n; ++i)
         max_degree_bound_ = std::max(max_degree_bound_, degree_[i]);
-    buckets_.resize(static_cast<size_t>(max_degree_bound_) + 1);
-    live_count_.resize(buckets_.size(), 0);
-    for (size_t i = 0; i < tasks.size(); ++i) {
+    for (auto &bucket : buckets_)
+        bucket.clear();
+    if (buckets_.size() < static_cast<size_t>(max_degree_bound_) + 1)
+        buckets_.resize(static_cast<size_t>(max_degree_bound_) + 1);
+    live_count_.assign(buckets_.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
         buckets_[static_cast<size_t>(degree_[i])].push_back(i);
         ++live_count_[static_cast<size_t>(degree_[i])];
     }
@@ -58,13 +75,22 @@ InterferenceGraph::maxDegree() const
 std::vector<size_t>
 InterferenceGraph::maxDegreeNodes() const
 {
+    std::vector<size_t> nodes;
+    maxDegreeNodes(nodes);
+    return nodes;
+}
+
+void
+InterferenceGraph::maxDegreeNodes(std::vector<size_t> &out) const
+{
     const int best = maxDegree();
     compactBucket(best);
-    std::vector<size_t> nodes = buckets_[static_cast<size_t>(best)];
+    const std::vector<size_t> &bucket =
+        buckets_[static_cast<size_t>(best)];
+    out.assign(bucket.begin(), bucket.end());
     // Lazy decrements append out of index order; callers tie-break on
     // ascending indices, so restore that ordering here.
-    std::sort(nodes.begin(), nodes.end());
-    return nodes;
+    std::sort(out.begin(), out.end());
 }
 
 void
@@ -99,10 +125,17 @@ std::vector<size_t>
 InterferenceGraph::activeNodes() const
 {
     std::vector<size_t> out;
+    activeNodes(out);
+    return out;
+}
+
+void
+InterferenceGraph::activeNodes(std::vector<size_t> &out) const
+{
+    out.clear();
     for (size_t i = 0; i < adj_.size(); ++i)
         if (!removed_[i])
             out.push_back(i);
-    return out;
 }
 
 } // namespace autobraid

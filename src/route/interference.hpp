@@ -32,8 +32,18 @@ namespace autobraid {
 class InterferenceGraph
 {
   public:
+    /** An empty graph, ready for rebuild() (persistent-scratch use). */
+    InterferenceGraph() = default;
+
     /** Build the O(n^2) bbox-intersection graph over @p tasks. */
     explicit InterferenceGraph(const std::vector<CxTask> &tasks);
+
+    /**
+     * Rebuild the graph over @p tasks in place, reusing the adjacency
+     * and bucket buffers from previous builds so a finder that runs
+     * once per dispatch instant does not reallocate in steady state.
+     */
+    void rebuild(const std::vector<CxTask> &tasks);
 
     /** Total nodes, including removed ones. */
     size_t originalSize() const { return adj_.size(); }
@@ -57,6 +67,9 @@ class InterferenceGraph
      */
     std::vector<size_t> maxDegreeNodes() const;
 
+    /** maxDegreeNodes() into a caller-owned buffer (no allocation). */
+    void maxDegreeNodes(std::vector<size_t> &out) const;
+
     /** Remove node @p i, updating neighbour degrees. */
     void remove(size_t i);
 
@@ -71,6 +84,9 @@ class InterferenceGraph
 
     /** Remaining nodes in index order. */
     std::vector<size_t> activeNodes() const;
+
+    /** activeNodes() into a caller-owned buffer (no allocation). */
+    void activeNodes(std::vector<size_t> &out) const;
 
   private:
     /** Drop stale entries from bucket @p d (lazy-deletion sweep). */

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "lattice/occupancy.hpp"
+#include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace autobraid {
@@ -11,7 +11,7 @@ StackPathFinder::StackPathFinder(const Grid &grid) : router_(grid) {}
 
 RoutingOutcome
 StackPathFinder::findPaths(const std::vector<CxTask> &tasks,
-                           const BlockedFn &blocked)
+                           BlockedMask blocked)
 {
     RoutingOutcome outcome;
     if (tasks.empty())
@@ -19,51 +19,55 @@ StackPathFinder::findPaths(const std::vector<CxTask> &tasks,
     AUTOBRAID_SPAN("route.stack_finder");
     AUTOBRAID_OBSERVE("route.stack_tasks",
                       static_cast<double>(tasks.size()));
+    require(blocked.size() ==
+                static_cast<size_t>(router_.grid().numVertices()),
+            "StackPathFinder: blocked mask does not cover the grid");
 
     // Stage 1-2: peel max-degree nodes onto the stack until maxdeg <= 2.
-    InterferenceGraph ig(tasks);
-    std::vector<size_t> stack;
-    while (ig.maxDegree() > 2) {
-        auto ties = ig.maxDegreeNodes();
-        size_t pick = ties.front();
-        for (size_t n : ties)
+    ig_.rebuild(tasks);
+    stack_.clear();
+    while (ig_.maxDegree() > 2) {
+        ig_.maxDegreeNodes(ties_);
+        size_t pick = ties_.front();
+        for (size_t n : ties_)
             if (tasks[n].bbox.area() > tasks[pick].bbox.area())
                 pick = n;
-        stack.push_back(pick);
-        ig.remove(pick);
+        stack_.push_back(pick);
+        ig_.remove(pick);
     }
     AUTOBRAID_OBSERVE("route.stack_peeled",
-                      static_cast<double>(stack.size()));
+                      static_cast<double>(stack_.size()));
 
     // Stage 3: route the residual low-interference gates, smallest
     // bounding box first so short-distance pairs consume local resources.
-    std::vector<size_t> residual = ig.activeNodes();
-    std::stable_sort(residual.begin(), residual.end(),
+    ig_.activeNodes(residual_);
+    std::stable_sort(residual_.begin(), residual_.end(),
                      [&tasks](size_t x, size_t y) {
                          return tasks[x].bbox.area() < tasks[y].bbox.area();
                      });
 
-    Occupancy claimed(router_.grid());
-    auto unavailable = [&](VertexId v) {
-        return blocked(v) || !claimed.free(v);
-    };
+    // The caller's blocked view merged with vertices claimed by paths
+    // routed earlier in this call (the old per-call Occupancy).
+    unavailable_.assign(blocked.data(), blocked.data() + blocked.size());
     auto try_route = [&](size_t idx) {
-        auto path = router_.route(tasks[idx].a, tasks[idx].b, unavailable);
+        auto path = router_.route(tasks[idx].a, tasks[idx].b,
+                                  BlockedMask(unavailable_));
         if (!path) {
             outcome.failed.push_back(idx);
             return;
         }
-        claimed.claim(path->vertices);
+        for (VertexId v : path->vertices)
+            unavailable_[static_cast<size_t>(v)] = 1;
         outcome.routed.emplace_back(idx, std::move(*path));
     };
 
-    for (size_t idx : residual)
+    for (size_t idx : residual_)
         try_route(idx);
 
     // Stage 4: pop the stack LIFO.
-    while (!stack.empty()) {
-        const size_t idx = stack.back();
-        stack.pop_back();
+    while (!stack_.empty()) {
+        const size_t idx = stack_.back();
+        stack_.pop_back();
         try_route(idx);
     }
 

@@ -16,6 +16,11 @@
  * the lattice are placed last, and it naturally handles the strictly
  * nested case of Theorem 2 (the enclosing, largest-area gate is routed
  * last).
+ *
+ * All scratch state — the interference graph, the peel stack, and the
+ * claimed-vertex mask merged with the caller's blocked mask — persists
+ * across findPaths() calls, so the scheduler's routing inner loop is
+ * allocation-free across dispatch instants.
  */
 
 #ifndef AUTOBRAID_ROUTE_STACK_FINDER_HPP
@@ -49,10 +54,11 @@ class PathFinder
 
     /**
      * Route @p tasks simultaneously. Paths must be vertex-disjoint with
-     * each other and avoid externally @p blocked vertices.
+     * each other and avoid externally @p blocked vertices (one byte per
+     * grid vertex, non-zero = unavailable).
      */
     virtual RoutingOutcome findPaths(const std::vector<CxTask> &tasks,
-                                     const BlockedFn &blocked) = 0;
+                                     BlockedMask blocked) = 0;
 
     /** Human-readable policy name for reports. */
     virtual const char *name() const = 0;
@@ -65,12 +71,20 @@ class StackPathFinder : public PathFinder
     explicit StackPathFinder(const Grid &grid);
 
     RoutingOutcome findPaths(const std::vector<CxTask> &tasks,
-                             const BlockedFn &blocked) override;
+                             BlockedMask blocked) override;
 
     const char *name() const override { return "stack"; }
 
   private:
     AStarRouter router_;
+
+    // Persistent per-instant scratch, reused across findPaths calls.
+    InterferenceGraph ig_;
+    std::vector<size_t> stack_;
+    std::vector<size_t> ties_;
+    std::vector<size_t> residual_;
+    /** Caller's blocked mask merged with vertices claimed this call. */
+    std::vector<uint8_t> unavailable_;
 };
 
 } // namespace autobraid

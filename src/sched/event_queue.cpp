@@ -12,19 +12,19 @@ EventQueue::nextTime() const
     return heap_.top().time;
 }
 
-std::vector<Event>
+const std::vector<Event> &
 EventQueue::popBatch()
 {
     require(!heap_.empty(), "EventQueue::popBatch on empty queue");
     const Cycles t = heap_.top().time;
-    std::vector<Event> batch;
+    batch_.clear();
     while (!heap_.empty() && heap_.top().time == t) {
-        batch.push_back(heap_.top());
+        batch_.push_back(heap_.top());
         heap_.pop();
     }
     AUTOBRAID_OBSERVE("sched.event_batch",
-                      static_cast<double>(batch.size()));
-    return batch;
+                      static_cast<double>(batch_.size()));
+    return batch_;
 }
 
 } // namespace autobraid

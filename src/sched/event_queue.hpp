@@ -43,10 +43,16 @@ class EventQueue
     /** Time of the earliest event. Raises InternalError when empty. */
     Cycles nextTime() const;
 
-    /** Pop every event scheduled at exactly nextTime(). */
-    std::vector<Event> popBatch();
+    /**
+     * Pop every event scheduled at exactly nextTime(). The returned
+     * reference points at an internal buffer reused across calls
+     * (allocation-free in steady state); it stays valid until the next
+     * popBatch() call. Pushing while iterating the batch is safe.
+     */
+    const std::vector<Event> &popBatch();
 
   private:
+    std::vector<Event> batch_;
     struct Later
     {
         bool

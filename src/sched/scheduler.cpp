@@ -51,6 +51,9 @@ class Engine
                     "dead vertex out of range");
             dead_[static_cast<size_t>(v)] = 1;
         }
+        blocked_mask_ = dead_;
+        routable_vertices_ = static_cast<size_t>(
+            std::count(dead_.begin(), dead_.end(), uint8_t{0}));
         if (maslov_mode ||
             config.policy != SchedulerPolicy::Baseline) {
             finder_ = std::make_unique<StackPathFinder>(grid);
@@ -93,12 +96,13 @@ class Engine
             }
         }
         result_.makespan = makespan_;
-        const size_t total_vertices =
-            static_cast<size_t>(grid_->numVertices());
-        if (makespan_ > 0)
+        // Utilization is over the routable fabric: dead vertices can
+        // never carry a braid, so they do not belong in the denominator.
+        if (makespan_ > 0 && routable_vertices_ > 0)
             result_.avg_utilization =
-                vertex_cycles_ / (static_cast<double>(makespan_) *
-                                  static_cast<double>(total_vertices));
+                vertex_cycles_ /
+                (static_cast<double>(makespan_) *
+                 static_cast<double>(routable_vertices_));
         result_.compile_seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - wall_start)
@@ -130,6 +134,19 @@ class Engine
     std::vector<uint8_t> in_level_;
     size_t level_remaining_ = 0;
     std::vector<uint8_t> dead_;
+
+    /**
+     * One byte per vertex: dead or reserved by an in-flight braid at
+     * the current instant. Maintained incrementally — set on reserve,
+     * cleared from the occupancy's expiry list on time advance — so the
+     * routing hot path reads a flat byte instead of calling a closure.
+     */
+    std::vector<uint8_t> blocked_mask_;
+    size_t routable_vertices_ = 0;
+
+    // Reused per-instant scratch (allocation-free dispatch loop).
+    std::vector<GateIdx> braid_gates_;
+    std::vector<GateIdx> local_snapshot_;
 
     std::vector<SwapRecord> swap_records_;
     size_t swaps_in_flight_ = 0;
@@ -220,6 +237,14 @@ class Engine
     dispatch(Cycles t)
     {
         ++result_.dispatch_instants;
+        {
+            // Refresh the per-instant blocked mask: expire channel
+            // reservations that ended by t and unblock their vertices.
+            AUTOBRAID_SPAN("route.mask_build");
+            for (VertexId v : occ_.advanceTo(t))
+                if (!dead_[static_cast<size_t>(v)])
+                    blocked_mask_[static_cast<size_t>(v)] = 0;
+        }
         // A refreshed level may consist entirely of zero-latency gates;
         // keep refreshing until the level has pending work.
         do {
@@ -229,25 +254,33 @@ class Engine
         } while (level_sync_ && level_remaining_ == 0 &&
                  !front_.done());
 
-        std::vector<GateIdx> braid_gates;
+        braid_gates_.clear();
         for (GateIdx g : front_.ready()) {
             const Gate &gate = circuit_->gate(g);
             if (needsBraid(gate.kind) && operandsFree(gate, t) &&
                 admitted(g))
-                braid_gates.push_back(g);
+                braid_gates_.push_back(g);
         }
-        if (braid_gates.empty())
-            return;
-        // Deterministic task order regardless of ready-set churn.
-        std::sort(braid_gates.begin(), braid_gates.end());
-        if (maslov_mode_)
-            dispatchBraidsMaslov(t, braid_gates);
-        else
-            dispatchBraids(t, braid_gates);
+        if (!braid_gates_.empty()) {
+            // Deterministic task order regardless of ready-set churn.
+            std::sort(braid_gates_.begin(), braid_gates_.end());
+            if (maslov_mode_)
+                dispatchBraidsMaslov(t, braid_gates_);
+            else
+                dispatchBraids(t, braid_gates_);
+        }
 
+        // Sample at every instant — including ones where braids are
+        // still in flight but nothing new dispatches — so the reported
+        // peak cannot miss a quiet instant.
+        const size_t busy = occ_.busyCount(t);
+        AUTOBRAID_GAUGE("sched.busy_counter",
+                        static_cast<double>(busy));
         const double util =
-            static_cast<double>(occ_.busyCount(t)) /
-            static_cast<double>(grid_->numVertices());
+            routable_vertices_ > 0
+                ? static_cast<double>(busy) /
+                      static_cast<double>(routable_vertices_)
+                : 0.0;
         AUTOBRAID_OBSERVE("sched.instant_utilization", util,
                           telemetry::ratioBounds());
         result_.peak_utilization =
@@ -264,8 +297,9 @@ class Engine
         bool repeat = true;
         while (repeat) {
             repeat = false;
-            const std::vector<GateIdx> snapshot = front_.ready();
-            for (GateIdx g : snapshot) {
+            local_snapshot_.assign(front_.ready().begin(),
+                                   front_.ready().end());
+            for (GateIdx g : local_snapshot_) {
                 const Gate &gate = circuit_->gate(g);
                 if (needsBraid(gate.kind) || !operandsFree(gate, t) ||
                     !admitted(g))
@@ -290,13 +324,15 @@ class Engine
         }
     }
 
-    BlockedFn
-    blockedAt(Cycles t) const
+    /** Reserve a braid channel and block its vertices for this instant. */
+    void
+    reserveChannel(Cycles t, const Path &path, Cycles until)
     {
-        return [this, t](VertexId v) {
-            return dead_[static_cast<size_t>(v)] != 0 ||
-                   !occ_.freeAt(v, t);
-        };
+        occ_.reserve(path.vertices, until);
+        if (until <= t)
+            return;
+        for (VertexId v : path.vertices)
+            blocked_mask_[static_cast<size_t>(v)] = 1;
     }
 
     /** Channel occupancy window for a braid of duration @p dur. */
@@ -317,7 +353,7 @@ class Engine
         front_.issue(g);
         const Cycles dur = config_->cost.duration(gate);
         const Cycles hold = channelHold(dur);
-        occ_.reserve(path.vertices, t + hold);
+        reserveChannel(t, path, t + hold);
         markBusy(gate, t + dur);
         events_.push(Event{t + dur, Event::Kind::GateFinish,
                            static_cast<uint64_t>(g)});
@@ -338,7 +374,7 @@ class Engine
     issueSwap(Cycles t, Qubit a, Qubit b, const Path &path)
     {
         const Cycles dur = config_->cost.swapCycles();
-        occ_.reserve(path.vertices, t + dur);
+        reserveChannel(t, path, t + dur);
         busy_until_[static_cast<size_t>(a)] = t + dur;
         busy_until_[static_cast<size_t>(b)] = t + dur;
         swap_records_.push_back(SwapRecord{a, b});
@@ -369,7 +405,8 @@ class Engine
     dispatchBraids(Cycles t, const std::vector<GateIdx> &gates)
     {
         const auto tasks = makeTasks(gates);
-        auto outcome = finder_->findPaths(tasks, blockedAt(t));
+        auto outcome =
+            finder_->findPaths(tasks, BlockedMask(blocked_mask_));
         for (const auto &[idx, path] : outcome.routed)
             issueBraid(t, gates[idx], path);
         result_.routing_failures += outcome.failed.size();
@@ -394,8 +431,9 @@ class Engine
             static_cast<size_t>(circuit_->numQubits()), 0);
         for (Qubit q = 0; q < circuit_->numQubits(); ++q)
             movable[static_cast<size_t>(q)] = qubitFree(q, t) ? 1 : 0;
-        const auto plan = optimizer_.propose(failed_tasks, placement_,
-                                             blockedAt(t), movable);
+        const auto plan =
+            optimizer_.propose(failed_tasks, placement_,
+                               BlockedMask(blocked_mask_), movable);
         for (const PlannedSwap &s : plan)
             issueSwap(t, s.a, s.b, s.path);
     }
@@ -415,7 +453,8 @@ class Engine
         size_t issued = 0;
         if (!adjacent.empty()) {
             const auto tasks = makeTasks(adjacent);
-            auto outcome = finder_->findPaths(tasks, blockedAt(t));
+            auto outcome =
+                finder_->findPaths(tasks, BlockedMask(blocked_mask_));
             for (const auto &[idx, path] : outcome.routed)
                 issueBraid(t, adjacent[idx], path);
             issued = outcome.routed.size();
@@ -447,7 +486,8 @@ class Engine
             swap_tasks.push_back(
                 CxTask::make(i, placement_.cellOf(pairs[i].first),
                              placement_.cellOf(pairs[i].second)));
-        auto outcome = finder_->findPaths(swap_tasks, blockedAt(t));
+        auto outcome =
+            finder_->findPaths(swap_tasks, BlockedMask(blocked_mask_));
         for (const auto &[idx, path] : outcome.routed)
             issueSwap(t, pairs[idx].first, pairs[idx].second, path);
     }

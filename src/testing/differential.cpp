@@ -133,6 +133,18 @@ checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
                        static_cast<unsigned long long>(r.makespan),
                        static_cast<unsigned long long>(
                            run.report.critical_path)));
+    // Utilization accounting: both ratios are over the routable fabric,
+    // so 0 <= avg <= peak <= 1 must hold for every valid run (the peak
+    // is sampled at every dispatch instant, the average over all
+    // cycles, so the average can never exceed the peak).
+    if (r.avg_utilization < 0.0 || r.peak_utilization < 0.0 ||
+        r.peak_utilization > 1.0 ||
+        r.avg_utilization > r.peak_utilization + 1e-9) {
+        AUTOBRAID_COUNT("fuzz.utilization_violations");
+        fail(strformat("utilization invariant broken: avg %.6f "
+                       "peak %.6f",
+                       r.avg_utilization, r.peak_utilization));
+    }
     // Lint oracle (when the pipeline ran with lint enabled): reaching
     // this point means the schedule is valid, so any error-level lint
     // was successfully routed around — but the AB202 channel-capacity

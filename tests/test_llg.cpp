@@ -328,7 +328,7 @@ TEST(LlgTheorem, NestedLlgsScheduleInBBox)
     // enclosing, largest-area gate last).
     StackPathFinder finder(grid);
     const auto outcome =
-        finder.findPaths(tasks, [](VertexId) { return false; });
+        finder.findPaths(tasks, noBlockedVertices(grid));
     EXPECT_EQ(outcome.routed.size(), tasks.size());
 }
 
@@ -380,8 +380,8 @@ TEST(LlgTheorem, StackFinderMatchesExistenceOnSmallCases)
                 static_cast<GateIdx>(i),
                 grid.cell(cells[static_cast<size_t>(2 * i)]),
                 grid.cell(cells[static_cast<size_t>(2 * i + 1)])));
-        const auto outcome = finder.findPaths(
-            tasks, [](VertexId) { return false; });
+        const auto outcome =
+            finder.findPaths(tasks, noBlockedVertices(grid));
         EXPECT_GE(outcome.routed.size(), 2u) << "trial " << trial;
     }
 }

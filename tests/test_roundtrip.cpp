@@ -108,7 +108,7 @@ TEST(Criticality, GreedyOrderUsesPriority)
     tasks[1].priority = 100;
     GreedyPathFinder finder(grid, GreedyOrder::Criticality, true);
     const auto outcome =
-        finder.findPaths(tasks, [](VertexId) { return false; });
+        finder.findPaths(tasks, noBlockedVertices(grid));
     ASSERT_EQ(outcome.routed.size(), 2u);
     EXPECT_EQ(outcome.routed[0].first, 1u); // high priority first
     EXPECT_STREQ(finder.name(), "greedy-criticality");

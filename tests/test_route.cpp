@@ -22,7 +22,12 @@
 namespace autobraid {
 namespace {
 
-const BlockedFn kFree = [](VertexId) { return false; };
+/** All-free blocked mask for @p g (the old always-false predicate). */
+std::vector<uint8_t>
+freeMask(const Grid &g)
+{
+    return noBlockedVertices(g);
+}
 
 /** Assert an outcome is fully routed with pairwise-disjoint paths. */
 void
@@ -73,17 +78,17 @@ TEST(AStar, ShortestPathLength)
     Grid g(4, 4);
     AStarRouter router(g);
     // Adjacent tiles share two corners: a single shared vertex works.
-    auto p = router.route(Cell{0, 0}, Cell{0, 1}, kFree);
+    auto p = router.route(Cell{0, 0}, Cell{0, 1}, freeMask(g));
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->length(), 1u);
 
     // Diagonal tiles share one corner.
-    p = router.route(Cell{0, 0}, Cell{1, 1}, kFree);
+    p = router.route(Cell{0, 0}, Cell{1, 1}, freeMask(g));
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->length(), 1u);
 
     // Distance-2 tiles: corner-to-corner needs 2 vertices.
-    p = router.route(Cell{0, 0}, Cell{0, 2}, kFree);
+    p = router.route(Cell{0, 0}, Cell{0, 2}, freeMask(g));
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->length(), 2u);
 }
@@ -92,7 +97,7 @@ TEST(AStar, PathIsValid)
 {
     Grid g(6, 6);
     AStarRouter router(g);
-    const auto p = router.route(Cell{0, 0}, Cell{5, 5}, kFree);
+    const auto p = router.route(Cell{0, 0}, Cell{5, 5}, freeMask(g));
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->validate(g, Cell{0, 0}, Cell{5, 5}), "");
 }
@@ -102,14 +107,14 @@ TEST(AStar, AvoidsBlockedVertices)
     Grid g(3, 3);
     AStarRouter router(g);
     // Block the middle column of vertices except the boundary rows.
-    auto blocked = [&g](VertexId v) {
+    const auto blocked = materializeBlocked(g, [&g](VertexId v) {
         const Vertex vx = g.vertex(v);
         return vx.c == 2 && vx.r > 0 && vx.r < 3;
-    };
+    });
     const auto p = router.route(Cell{1, 0}, Cell{1, 2}, blocked);
     ASSERT_TRUE(p.has_value());
     for (VertexId v : p->vertices)
-        EXPECT_FALSE(blocked(v));
+        EXPECT_FALSE(blocked[static_cast<size_t>(v)]);
 }
 
 TEST(AStar, ReportsUnroutable)
@@ -117,7 +122,8 @@ TEST(AStar, ReportsUnroutable)
     Grid g(3, 3);
     AStarRouter router(g);
     // Wall of blocked vertices across the whole grid.
-    auto blocked = [&g](VertexId v) { return g.vertex(v).c == 2; };
+    const auto blocked = materializeBlocked(
+        g, [&g](VertexId v) { return g.vertex(v).c == 2; });
     EXPECT_FALSE(
         router.route(Cell{0, 0}, Cell{0, 2}, blocked).has_value());
 }
@@ -128,7 +134,7 @@ TEST(AStar, ConfinementToBBox)
     AStarRouter router(g);
     const BBox box = BBox::ofCells(Cell{2, 2}, Cell{3, 3});
     const auto p =
-        router.route(Cell{2, 2}, Cell{3, 3}, kFree, &box);
+        router.route(Cell{2, 2}, Cell{3, 3}, freeMask(g), &box);
     ASSERT_TRUE(p.has_value());
     for (VertexId v : p->vertices)
         EXPECT_TRUE(box.contains(g.vertex(v)));
@@ -138,16 +144,16 @@ TEST(AStar, CornerMasksRestrictEndpoints)
 {
     Grid g(4, 4);
     AStarRouter router(g);
-    const auto p = router.route(Cell{0, 0}, Cell{2, 2}, kFree, nullptr,
+    const auto p = router.route(Cell{0, 0}, Cell{2, 2}, freeMask(g), nullptr,
                                 AStarRouter::kFixedCorner,
                                 AStarRouter::kFixedCorner);
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->front(), g.vid(Vertex{0, 0}));
     EXPECT_EQ(p->back(), g.vid(Vertex{2, 2}));
     // Fixed-corner paths are longer than all-corner paths here.
-    const auto free_p = router.route(Cell{0, 0}, Cell{2, 2}, kFree);
+    const auto free_p = router.route(Cell{0, 0}, Cell{2, 2}, freeMask(g));
     EXPECT_LT(free_p->length(), p->length());
-    EXPECT_THROW(router.route(Cell{0, 0}, Cell{1, 1}, kFree, nullptr,
+    EXPECT_THROW(router.route(Cell{0, 0}, Cell{1, 1}, freeMask(g), nullptr,
                               0, AStarRouter::kAllCorners),
                  InternalError);
 }
@@ -156,7 +162,7 @@ TEST(AStar, SameCellRejected)
 {
     Grid g(3, 3);
     AStarRouter router(g);
-    EXPECT_THROW(router.route(Cell{1, 1}, Cell{1, 1}, kFree),
+    EXPECT_THROW(router.route(Cell{1, 1}, Cell{1, 1}, freeMask(g)),
                  InternalError);
 }
 
@@ -165,7 +171,7 @@ TEST(AStar, RepeatedQueriesIndependent)
     Grid g(5, 5);
     AStarRouter router(g);
     for (int i = 0; i < 50; ++i) {
-        const auto p = router.route(Cell{0, 0}, Cell{4, 4}, kFree);
+        const auto p = router.route(Cell{0, 0}, Cell{4, 4}, freeMask(g));
         ASSERT_TRUE(p.has_value());
         // Closest corners (1,1) and (4,4): 6 steps -> 7 vertices.
         EXPECT_EQ(p->length(), 7u);
@@ -334,12 +340,12 @@ TEST(StackFinder, EmptyAndSingle)
 {
     Grid g(4, 4);
     StackPathFinder finder(g);
-    const auto empty = finder.findPaths({}, kFree);
+    const auto empty = finder.findPaths({}, freeMask(g));
     EXPECT_TRUE(empty.routed.empty());
     EXPECT_DOUBLE_EQ(empty.ratio, 1.0);
 
     std::vector<CxTask> one{CxTask::make(0, Cell{0, 0}, Cell{3, 3})};
-    expectDisjointComplete(finder.findPaths(one, kFree), one, g);
+    expectDisjointComplete(finder.findPaths(one, freeMask(g)), one, g);
 }
 
 TEST(StackFinder, Fig8FiveGatesAllRoute)
@@ -356,7 +362,7 @@ TEST(StackFinder, Fig8FiveGatesAllRoute)
         CxTask::make(4, Cell{4, 3}, Cell{5, 3}), // E
     };
     StackPathFinder finder(g);
-    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+    expectDisjointComplete(finder.findPaths(tasks, freeMask(g)), tasks, g);
 }
 
 TEST(StackFinder, Fig14SevenGateLlgAllRoute)
@@ -374,7 +380,7 @@ TEST(StackFinder, Fig14SevenGateLlgAllRoute)
         CxTask::make(6, Cell{3, 3}, Cell{4, 4}),
     };
     StackPathFinder finder(g);
-    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+    expectDisjointComplete(finder.findPaths(tasks, freeMask(g)), tasks, g);
 }
 
 TEST(StackFinder, RespectsExternalBlocking)
@@ -383,8 +389,9 @@ TEST(StackFinder, RespectsExternalBlocking)
     StackPathFinder finder(g);
     std::vector<CxTask> tasks{CxTask::make(0, Cell{0, 0}, Cell{0, 2})};
     // Block everything: no route possible.
-    const auto outcome =
-        finder.findPaths(tasks, [](VertexId) { return true; });
+    const std::vector<uint8_t> all_blocked(
+        static_cast<size_t>(g.numVertices()), 1);
+    const auto outcome = finder.findPaths(tasks, all_blocked);
     EXPECT_TRUE(outcome.routed.empty());
     EXPECT_EQ(outcome.failed.size(), 1u);
     EXPECT_DOUBLE_EQ(outcome.ratio, 0.0);
@@ -401,7 +408,7 @@ TEST(StackFinder, NestedGatesAllRoute)
         CxTask::make(3, Cell{0, 0}, Cell{7, 7}),
     };
     StackPathFinder finder(g);
-    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+    expectDisjointComplete(finder.findPaths(tasks, freeMask(g)), tasks, g);
 }
 
 TEST(StackFinder, ManyParallelNeighbours)
@@ -415,7 +422,7 @@ TEST(StackFinder, ManyParallelNeighbours)
             tasks.push_back(CxTask::make(tasks.size(), Cell{r, c},
                                          Cell{r, c + 1}));
     StackPathFinder finder(g);
-    expectDisjointComplete(finder.findPaths(tasks, kFree), tasks, g);
+    expectDisjointComplete(finder.findPaths(tasks, freeMask(g)), tasks, g);
 }
 
 TEST(GreedyFinder, DistanceOrderRoutesShortFirst)
@@ -426,7 +433,7 @@ TEST(GreedyFinder, DistanceOrderRoutesShortFirst)
         CxTask::make(1, Cell{2, 2}, Cell{2, 3}), // short
     };
     GreedyPathFinder finder(g, GreedyOrder::Distance);
-    const auto outcome = finder.findPaths(tasks, kFree);
+    const auto outcome = finder.findPaths(tasks, freeMask(g));
     ASSERT_EQ(outcome.routed.size(), 2u);
     // Short pair routed first.
     EXPECT_EQ(outcome.routed[0].first, 1u);
@@ -443,8 +450,8 @@ TEST(GreedyFinder, FixedCornerConflictsMore)
     };
     GreedyPathFinder fixed(g, GreedyOrder::Distance, false);
     GreedyPathFinder free_corners(g, GreedyOrder::Distance, true);
-    const auto fixed_out = fixed.findPaths(tasks, kFree);
-    const auto free_out = free_corners.findPaths(tasks, kFree);
+    const auto fixed_out = fixed.findPaths(tasks, freeMask(g));
+    const auto free_out = free_corners.findPaths(tasks, freeMask(g));
     EXPECT_EQ(free_out.routed.size(), 2u);
     EXPECT_LE(fixed_out.routed.size(), free_out.routed.size());
 }
@@ -459,7 +466,7 @@ TEST(GreedyFinder, EmptyTaskListIsVacuousSuccess)
          {GreedyOrder::Distance, GreedyOrder::Program,
           GreedyOrder::Largest, GreedyOrder::Criticality}) {
         GreedyPathFinder finder(g, order);
-        const auto empty = finder.findPaths({}, kFree);
+        const auto empty = finder.findPaths({}, freeMask(g));
         EXPECT_TRUE(empty.routed.empty());
         EXPECT_TRUE(empty.failed.empty());
         EXPECT_DOUBLE_EQ(empty.ratio, 1.0) << finder.name();
@@ -494,8 +501,8 @@ TEST(GreedyFinder, OrderMattersOnCongestedLayer)
     }
     StackPathFinder stack(g);
     GreedyPathFinder largest(g, GreedyOrder::Largest, true);
-    const auto s = stack.findPaths(tasks, kFree);
-    const auto l = largest.findPaths(tasks, kFree);
+    const auto s = stack.findPaths(tasks, freeMask(g));
+    const auto l = largest.findPaths(tasks, freeMask(g));
     EXPECT_GE(s.routed.size(), l.routed.size());
 }
 

@@ -131,7 +131,7 @@ TEST(LayoutOptimizer, Fig15CrossingPairsGetSwaps)
     LayoutOptimizer opt(g);
     std::vector<uint8_t> movable(8, 1);
     const auto plan = opt.propose(
-        failed, placement, [](VertexId) { return false; }, movable);
+        failed, placement, noBlockedVertices(g), movable);
     EXPECT_GE(plan.size(), 1u);
     for (const PlannedSwap &s : plan) {
         EXPECT_NE(s.a, s.b);
@@ -157,7 +157,7 @@ TEST(LayoutOptimizer, NoProposalForNonInterfering)
     LayoutOptimizer opt(g);
     std::vector<uint8_t> movable(64, 1);
     const auto plan = opt.propose(
-        failed, placement, [](VertexId) { return false; }, movable);
+        failed, placement, noBlockedVertices(g), movable);
     EXPECT_TRUE(plan.empty());
 }
 
@@ -175,7 +175,7 @@ TEST(LayoutOptimizer, RespectsMovableMask)
     LayoutOptimizer opt(g);
     std::vector<uint8_t> movable(8, 0); // nothing may move
     const auto plan = opt.propose(
-        failed, placement, [](VertexId) { return false; }, movable);
+        failed, placement, noBlockedVertices(g), movable);
     EXPECT_TRUE(plan.empty());
 }
 
@@ -232,6 +232,92 @@ TEST(Scheduler, ParallelCxOverlap)
     EXPECT_EQ(result.makespan, cfg.cost.cxCycles());
     EXPECT_EQ(result.max_concurrent_braids, 2u);
     testutil::expectValidSchedule(c, result, cfg.cost);
+}
+
+TEST(Scheduler, UtilizationCountsOnlyRoutableVertices)
+{
+    // One CX between adjacent tiles braids through a single shared
+    // corner, so the busy integral is exactly 1 vertex * 1 CX window.
+    // With two dead vertices the 3x3-vertex grid has 7 routable
+    // vertices: both ratios must be 1/7, not 1/9 — dead vertices can
+    // never carry a braid and do not belong in the denominator.
+    Circuit c(2);
+    c.cx(0, 1);
+    Grid grid(2, 2);
+    SchedulerConfig cfg = tracedConfig(SchedulerPolicy::AutobraidSP);
+    cfg.dead_vertices = {grid.vid(Vertex{2, 0}),
+                         grid.vid(Vertex{2, 2})};
+    BraidScheduler sched(c, grid, cfg);
+    const auto result = sched.run(Placement(grid, 2));
+    testutil::expectValidSchedule(c, result, cfg.cost);
+    EXPECT_EQ(result.braids_routed, 1u);
+    ASSERT_EQ(result.trace.size(), 1u);
+    EXPECT_EQ(result.trace[0].path.length(), 1u);
+    EXPECT_NEAR(result.peak_utilization, 1.0 / 7.0, 1e-12);
+    EXPECT_NEAR(result.avg_utilization, 1.0 / 7.0, 1e-12);
+}
+
+TEST(Scheduler, QuietInstantsStillSampleUtilization)
+{
+    // An H retiring mid-braid (h: d cycles, cx: 2d + 2) creates a
+    // dispatch instant where the CX braid still holds its channel but
+    // nothing new dispatches. Utilization sampling must run at that
+    // instant too — the peak may not skip instants without new braids.
+    Circuit c(3);
+    c.cx(0, 1);
+    c.h(2);
+    Grid grid(2, 2);
+    const auto cfg = tracedConfig(SchedulerPolicy::AutobraidSP);
+    BraidScheduler sched(c, grid, cfg);
+    const auto result = sched.run(Placement(grid, 3));
+    testutil::expectValidSchedule(c, result, cfg.cost);
+    // Instants: t=0 (both gates) and t=d (H retires, braid in
+    // flight). The second is the quiet one.
+    EXPECT_EQ(result.dispatch_instants, 2u);
+    ASSERT_EQ(result.braids_routed, 1u);
+    // Adjacent tiles braid through one shared vertex of the 9.
+    EXPECT_NEAR(result.peak_utilization, 1.0 / 9.0, 1e-12);
+    EXPECT_LE(result.avg_utilization, result.peak_utilization);
+}
+
+TEST(Scheduler, ChannelHoldEdgeCases)
+{
+    // channel_hold_cycles semantics: 0 and anything exceeding the CX
+    // window both mean "hold for the whole braid"; a shorter hold
+    // (teleportation-style) releases the channel early. The trace's
+    // channel_release and the vertex-cycles utilization weighting must
+    // follow the effective hold exactly.
+    Circuit c(2);
+    c.cx(0, 1);
+    Grid grid(2, 2);
+    const Cycles dur = SchedulerConfig{}.cost.cxCycles();
+    const std::vector<std::pair<Cycles, Cycles>> cases{
+        {0, dur},
+        {dur + 100, dur},
+        {2, 2},
+    };
+    for (const auto &[hold, effective] : cases) {
+        SchedulerConfig cfg = tracedConfig(SchedulerPolicy::AutobraidSP);
+        cfg.channel_hold_cycles = hold;
+        BraidScheduler sched(c, grid, cfg);
+        const auto result = sched.run(Placement(grid, 2));
+        testutil::expectValidSchedule(c, result, cfg.cost);
+        ASSERT_EQ(result.trace.size(), 1u) << "hold " << hold;
+        const TraceEntry &e = result.trace[0];
+        EXPECT_EQ(e.finish - e.start, dur);
+        EXPECT_EQ(e.channel_release, e.start + effective)
+            << "hold " << hold;
+        // The validator's channel-release window rules.
+        EXPECT_GE(e.channel_release, e.start);
+        EXPECT_LE(e.channel_release, e.finish);
+        // 1 path vertex held `effective` of the dur-cycle makespan,
+        // over the 9 routable vertices of the 2x2 grid.
+        EXPECT_NEAR(result.avg_utilization,
+                    static_cast<double>(effective) /
+                        (static_cast<double>(dur) * 9.0),
+                    1e-12)
+            << "hold " << hold;
+    }
 }
 
 TEST(Scheduler, BaselineLevelSyncIsNeverFasterThanAutobraid)

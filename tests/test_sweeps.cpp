@@ -124,7 +124,7 @@ TEST(StackFinderStatistics, BeatsNaiveOrdersInAggregate)
                 static_cast<GateIdx>(i),
                 grid.cell(cells[static_cast<size_t>(2 * i)]),
                 grid.cell(cells[static_cast<size_t>(2 * i + 1)])));
-        const auto free = [](VertexId) { return false; };
+        const auto free = noBlockedVertices(grid);
         stack_total += stack.findPaths(tasks, free).ratio;
         program_total += program.findPaths(tasks, free).ratio;
         largest_total += largest.findPaths(tasks, free).ratio;

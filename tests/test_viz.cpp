@@ -32,7 +32,7 @@ TEST(Ascii, PathsRenderWithDistinctLabels)
 {
     Grid grid(3, 3);
     AStarRouter router(grid);
-    const auto free = [](VertexId) { return false; };
+    const auto free = noBlockedVertices(grid);
     std::vector<Path> paths;
     paths.push_back(*router.route(Cell{0, 0}, Cell{0, 2}, free));
     paths.push_back(*router.route(Cell{2, 0}, Cell{2, 2}, free));
