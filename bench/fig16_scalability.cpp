@@ -3,8 +3,10 @@
  * Reproduces paper Fig. 16: physical circuit execution time (seconds)
  * versus computation size 1/P_L, for QFT, the Ising model (IM), and
  * QAOA. Series: baseline (GP w. initM), autobraid-sp, autobraid-full,
- * and the ideal critical path (CP). The code distance d for each point
- * follows eq. (1); instance sizes scale so circuit volume ~ 1/P_L.
+ * the ideal critical path (CP), and a side-by-side lattice-surgery
+ * series (autobraid-full under --backend=surgery). The code distance d
+ * for each point follows eq. (1); instance sizes scale so circuit
+ * volume ~ 1/P_L.
  *
  * Set AB_QUICK=1 for a reduced sweep.
  */
@@ -26,7 +28,7 @@ main()
         std::printf("-- %s --\n", family.c_str());
         Table table({"1/P_L", "d", "qubits", "CP(s)", "baseline(s)",
                      "autobraid-sp(s)", "autobraid-full(s)",
-                     "full/CP"});
+                     "full/CP", "ls-full(s)"});
         for (const ScalePoint &pt : scalePoints(family, quick)) {
             const Circuit circuit = scaleCircuit(family, pt);
             CostModel cost;
@@ -50,6 +52,12 @@ main()
                 if (policy == SchedulerPolicy::AutobraidFull)
                     full_ratio = rep.cpRatio();
             }
+            CompileOptions ls;
+            ls.policy = SchedulerPolicy::AutobraidFull;
+            ls.backend = SchedulerBackend::LatticeSurgery;
+            ls.cost = cost;
+            const CompileReport rls = compileCircuit(circuit, ls);
+            const double ls_s = cost.seconds(rls.result.makespan);
             table.addRow({strformat("%.0e", pt.inv_pl),
                           std::to_string(pt.distance),
                           std::to_string(circuit.numQubits()),
@@ -57,7 +65,8 @@ main()
                           strformat("%.4g", seconds[0]),
                           strformat("%.4g", seconds[1]),
                           strformat("%.4g", seconds[2]),
-                          strformat("%.2f", full_ratio)});
+                          strformat("%.2f", full_ratio),
+                          strformat("%.4g", ls_s)});
             std::fflush(stdout);
         }
         table.print();

@@ -4,9 +4,11 @@
  *
  * For every benchmark: qubit count, gate count, ideal critical path
  * (CP), the GP-with-initial-mapping baseline, autobraid-full, our
- * speedup, and the paper's reported speedup for comparison. Also prints
- * the paper's compilation-time claim check (compile time as a fraction
- * of physical execution time).
+ * speedup, and the paper's reported speedup for comparison, plus a
+ * side-by-side lattice-surgery column (autobraid-full under
+ * --backend=surgery) with its makespan ratio against braiding. Also
+ * prints the paper's compilation-time claim check (compile time as a
+ * fraction of physical execution time).
  *
  * Set AB_QUICK=1 to skip the largest instances.
  */
@@ -27,7 +29,7 @@ main()
 
     Table table({"Type", "Name", "#qubit", "#gate", "CP(us)",
                  "GP w initM(us)", "AutoBraid(us)", "Speedup",
-                 "Paper", "Compile(s)"});
+                 "Paper", "LS(us)", "LS/AB", "Compile(s)"});
 
     std::vector<double> deep_fractions;
 
@@ -44,8 +46,15 @@ main()
         full.policy = SchedulerPolicy::AutobraidFull;
         const CompileReport rf = compileCircuit(circuit, full);
 
+        // Same scheduler, lattice-surgery resource model: a merge
+        // region per CX (2d cycles) instead of a braid path (2d+2).
+        CompileOptions surgery = full;
+        surgery.backend = SchedulerBackend::LatticeSurgery;
+        const CompileReport rs = compileCircuit(circuit, surgery);
+
         const double b_us = rb.micros(base.cost);
         const double f_us = rf.micros(full.cost);
+        const double s_us = rs.micros(surgery.cost);
         const double speedup = b_us / f_us;
         // Compile wall-clock vs physical execution time (paper: ~1-2%
         // for its deep circuits). Only circuits with >= 1 s of
@@ -66,6 +75,8 @@ main()
                       entry.paper_speedup > 0
                           ? strformat("%.2f", entry.paper_speedup)
                           : std::string("OM"),
+                      humanMicros(s_us),
+                      strformat("%.2f", s_us / f_us),
                       strformat("%.2f", rf.total_seconds)});
         std::fflush(stdout);
     }

@@ -73,6 +73,10 @@ diagnosticCatalog()
         {"AB203", Severity::Error,
          "dead vertices disconnect the live routing graph between "
          "tiles"},
+        {"AB204", Severity::Error,
+         "lattice too small for lattice surgery: a gate's minimal "
+         "merge region (live tile corners plus ancilla-bus interior) "
+         "exceeds the live routing-vertex count"},
         {"AB301", Severity::Note,
          "LLG violates both schedulability theorems (size > 3 and not "
          "strictly nested): in-box routing is not guaranteed"},

@@ -1,6 +1,8 @@
 #include "analysis/layout_lints.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdlib>
 #include <queue>
 
 #include "common/text.hpp"
@@ -140,6 +142,75 @@ lintLayout(const Grid &grid, const std::vector<VertexId> &dead,
     const std::vector<uint8_t> mask = deadMask(grid, dead);
     lintDeadTiles(grid, mask, engine);
     lintConnectivity(grid, mask, engine);
+}
+
+void
+lintSurgeryCapacity(const Grid &grid,
+                    const std::vector<VertexId> &dead,
+                    const std::vector<CxTask> &tasks,
+                    DiagnosticEngine &engine)
+{
+    if (tasks.empty())
+        return;
+    const std::vector<uint8_t> mask = deadMask(grid, dead);
+    size_t live_total = 0;
+    for (uint8_t d : mask)
+        live_total += d ? 0 : 1;
+
+    for (const CxTask &t : tasks) {
+        std::array<VertexId, 8> live{};
+        int na = 0;
+        for (VertexId v : grid.cornerIds(t.a))
+            if (!mask[static_cast<size_t>(v)])
+                live[static_cast<size_t>(na++)] = v;
+        int nb = 0;
+        for (VertexId v : grid.cornerIds(t.b))
+            if (!mask[static_cast<size_t>(v)])
+                live[static_cast<size_t>(na + nb++)] = v;
+        // A tile with no live corner is AB201's report, not ours.
+        if (na == 0 || nb == 0)
+            continue;
+
+        int dist = grid.vertexRows() + grid.vertexCols();
+        for (int i = 0; i < na; ++i)
+            for (int j = na; j < na + nb; ++j) {
+                const Vertex va = grid.vertex(live[static_cast<size_t>(i)]);
+                const Vertex vb = grid.vertex(live[static_cast<size_t>(j)]);
+                const int d = std::abs(va.r - vb.r) +
+                              std::abs(va.c - vb.c);
+                dist = std::min(dist, d);
+            }
+        size_t distinct = 0;
+        for (int i = 0; i < na + nb; ++i) {
+            bool seen = false;
+            for (int j = 0; j < i; ++j)
+                seen = seen || live[static_cast<size_t>(j)] ==
+                                   live[static_cast<size_t>(i)];
+            distinct += seen ? 0 : 1;
+        }
+        const size_t need =
+            distinct + static_cast<size_t>(std::max(0, dist - 1));
+        if (live_total >= need)
+            continue;
+
+        // Smallest defect-free square lattice side L with
+        // (L+1)^2 >= need.
+        int side = 1;
+        while (static_cast<size_t>((side + 1) * (side + 1)) < need)
+            ++side;
+        engine.report(
+            "AB204", SourceLoc{},
+            strformat("lattice surgery infeasible: the merge region "
+                      "for the CX between tiles %s and %s needs >= "
+                      "%zu live routing vertices (%zu live tile "
+                      "corners + %d bus interior) but only %zu are "
+                      "live; the smallest defect-free square lattice "
+                      "hosting it has side >= %d ((L+1)^2 >= %zu)",
+                      t.a.toString().c_str(), t.b.toString().c_str(),
+                      need, distinct, std::max(0, dist - 1),
+                      live_total, side, need));
+        return; // one example gate is enough
+    }
 }
 
 Cycles

@@ -74,6 +74,31 @@ ChannelBound channelCapacityBound(const Grid &grid,
                                   Cycles hold);
 
 /**
+ * AB204: lattice-surgery feasibility under the analysed placement.
+ *
+ * A lattice-surgery CX merges its operand patches through a region
+ * that must contain every live corner of both tiles plus the interior
+ * of an ancilla-bus path between them. The region size is therefore
+ * bounded below by |live corners(a) U live corners(b)| +
+ * max(0, d - 1), where d is the Manhattan distance between the
+ * closest live corners. When some gate's bound exceeds the number of
+ * live routing vertices, no merge region can ever be claimed and the
+ * surgery backend would stall on that gate forever; AB204 reports the
+ * first such gate as an error, including the smallest defect-free
+ * square lattice side L with (L+1)^2 >= the required region size.
+ *
+ * The bound is conservative (Manhattan distance, simple counting), so
+ * the lint never fires on a defect-free square lattice: the worst
+ * diagonal pair needs 2L + 3 vertices and (L+1)^2 >= 2L + 3 for every
+ * L >= 2. Tiles whose corners are all dead are AB201's report, not
+ * ours, and are skipped here.
+ */
+void lintSurgeryCapacity(const Grid &grid,
+                         const std::vector<VertexId> &dead,
+                         const std::vector<CxTask> &tasks,
+                         DiagnosticEngine &engine);
+
+/**
  * Per-braid channel occupancy: the full CX window under braiding, or
  * the (shorter) EPR-distribution window in teleportation mode.
  */

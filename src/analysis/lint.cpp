@@ -26,12 +26,12 @@ runCircuitAnalyses(const Circuit &circuit, const Grid &grid,
     lintCircuit(circuit, engine, provenance, config.circuit);
     lintLayout(grid, dead, engine);
     if (placement) {
-        if (config.hold > 0) {
-            const std::vector<CxTask> tasks =
-                placement->tasks(circuit, braidGates(circuit));
+        const std::vector<CxTask> tasks =
+            placement->tasks(circuit, braidGates(circuit));
+        if (config.hold > 0)
             lintChannelCapacity(grid, dead, tasks, config.hold,
                                 engine);
-        }
+        lintSurgeryCapacity(grid, dead, tasks, engine);
         lintLlgs(circuit, *placement, engine, config.llg);
     }
 }

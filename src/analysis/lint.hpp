@@ -37,9 +37,10 @@ std::vector<GateIdx> braidGates(const Circuit &circuit);
 
 /**
  * Run every circuit-level analysis family into @p engine: AB1xx on
- * the gate list, AB2xx on @p grid + @p dead (channel bound only when
- * @p placement is non-null and config.hold > 0), AB3xx on the
- * placement's concurrent layers (when @p placement is non-null).
+ * the gate list, AB2xx on @p grid + @p dead (the channel bound and
+ * the AB204 surgery-capacity check need a non-null @p placement; the
+ * bound additionally needs config.hold > 0), AB3xx on the placement's
+ * concurrent layers (when @p placement is non-null).
  */
 void runCircuitAnalyses(const Circuit &circuit, const Grid &grid,
                         const std::vector<VertexId> &dead,

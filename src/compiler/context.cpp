@@ -11,6 +11,7 @@ CompileContext::CompileContext(const Circuit &circ,
 {
     report.circuit_name = circ.name();
     report.policy = opts.policy;
+    report.backend = opts.backend;
     report.num_qubits = circ.numQubits();
     report.num_gates = circ.size();
     if (opts.telemetry.enabled) {

@@ -11,6 +11,7 @@ CompileOptions::schedulerConfig() const
 {
     SchedulerConfig cfg;
     cfg.policy = policy;
+    cfg.backend = backend;
     cfg.cost = cost;
     cfg.p_threshold = p_threshold;
     cfg.allow_maslov = allow_maslov;

@@ -26,6 +26,13 @@ class Circuit;
 struct CompileOptions
 {
     SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
+
+    /**
+     * Communication backend: braiding paths (the paper's model) or
+     * lattice-surgery merge regions (src/surgery/, docs/backends.md).
+     */
+    SchedulerBackend backend = SchedulerBackend::Braiding;
+
     CostModel cost;
     double p_threshold = 0.3;    ///< layout-optimizer trigger ratio
     bool allow_maslov = true;    ///< try the swap network on all-to-all

@@ -17,9 +17,12 @@ ParallelismAnalysisPass::run(CompileContext &ctx)
     ctx.report.grid_side = ctx.grid->rows();
     ctx.scheduler = std::make_unique<BraidScheduler>(
         *ctx.circuit, *ctx.grid, ctx.config);
+    // The lower bound must use the backend's own gate durations: a
+    // braiding-timed CP would exceed achievable lattice-surgery
+    // makespans (lsCx < cx) and break the makespan >= CP oracle.
     ctx.report.critical_path =
-        ctx.scheduler->dag().criticalPath(
-            ctx.options.cost.durationFn());
+        ctx.scheduler->dag().criticalPath(backendDurationFn(
+            ctx.options.cost, ctx.options.backend));
     ctx.bump("critical_path_cycles",
              static_cast<long>(ctx.report.critical_path));
     ctx.bump("two_qubit_gates",
@@ -52,7 +55,10 @@ SchedulePass::run(CompileContext &ctx)
     // The paper sweeps the optimizer trigger p and keeps the best; at
     // minimum the optimizer must never lose to not triggering at all,
     // so AutobraidFull also evaluates the p = 0 (never trigger) run.
-    if (ctx.options.policy == SchedulerPolicy::AutobraidFull &&
+    // The optimizer never fires under lattice surgery, so the p = 0
+    // re-run would just duplicate the schedule there.
+    if (ctx.options.backend == SchedulerBackend::Braiding &&
+        ctx.options.policy == SchedulerPolicy::AutobraidFull &&
         ctx.options.best_of_p0 && ctx.options.p_threshold > 0.0) {
         SchedulerConfig no_trigger = ctx.config;
         no_trigger.p_threshold = 0.0;
@@ -77,7 +83,10 @@ MaslovFallbackPass::run(CompileContext &ctx)
     CompileContext::requireStage(ctx.placement.has_value(), name(),
                                  "no placement; run "
                                  "initial-placement first");
-    if (ctx.options.policy != SchedulerPolicy::AutobraidFull ||
+    // The swap network is a braiding construction (its phases braid
+    // neighbour SWAPs); it is no alternative for lattice surgery.
+    if (ctx.options.backend != SchedulerBackend::Braiding ||
+        ctx.options.policy != SchedulerPolicy::AutobraidFull ||
         !ctx.options.allow_maslov)
         return;
     const CouplingGraph coupling(*ctx.circuit);
@@ -131,11 +140,13 @@ ReportPass::run(CompileContext &ctx)
     ctx.bump("gates_scheduled", static_cast<long>(r.gates_scheduled));
 
     // Cross-check the lint pass's channel-capacity bound against the
-    // achieved makespan. The bound only holds for swap-free schedules
-    // under the lint-time placement, so skip it once relayout or the
-    // Maslov network changed the layout.
+    // achieved makespan. The bound only holds for swap-free *braiding*
+    // schedules under the lint-time placement (it is computed from the
+    // braid hold window), so skip it once relayout or the Maslov
+    // network changed the layout — or another backend ran.
     if (ctx.report.lint && r.valid && r.swaps_inserted == 0 &&
-        !ctx.report.used_maslov) {
+        !ctx.report.used_maslov &&
+        r.backend == SchedulerBackend::Braiding) {
         const auto &metrics = ctx.report.lint->metrics();
         const auto it = metrics.find("channel_bound_cycles");
         if (it != metrics.end() && it->second > 0 &&

@@ -27,10 +27,11 @@ std::string
 CompileReport::metricsSummary() const
 {
     std::string out;
-    out += strformat("circuit=%s policy=%s qubits=%d gates=%zu "
-                     "grid=%d\n",
+    out += strformat("circuit=%s policy=%s backend=%s qubits=%d "
+                     "gates=%zu grid=%d\n",
                      circuit_name.c_str(), policyName(policy),
-                     num_qubits, num_gates, grid_side);
+                     backendName(backend), num_qubits, num_gates,
+                     grid_side);
     out += strformat("cp=%llu makespan=%llu cp_ratio=%.9f\n",
                      static_cast<unsigned long long>(critical_path),
                      static_cast<unsigned long long>(result.makespan),

@@ -45,6 +45,7 @@ struct CompileReport
 {
     std::string circuit_name;
     SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
+    SchedulerBackend backend = SchedulerBackend::Braiding;
     int num_qubits = 0;
     size_t num_gates = 0;
     int grid_side = 0;

@@ -35,6 +35,18 @@ struct CostModel
     /** SWAP = 3 sequential CX holding one path. */
     Cycles swapCycles() const { return 3 * cxCycles(); }
 
+    /**
+     * Lattice-surgery CX: a d-cycle patch merge followed by a d-cycle
+     * split (no +2 braid setup; the bus region is reserved throughout).
+     */
+    Cycles lsCxCycles() const
+    {
+        return 2 * static_cast<Cycles>(distance);
+    }
+
+    /** Lattice-surgery SWAP = 3 sequential merge+split CX operations. */
+    Cycles lsSwapCycles() const { return 3 * lsCxCycles(); }
+
     /** Hadamard: local boundary deformation. */
     Cycles hCycles() const { return static_cast<Cycles>(distance); }
 

@@ -120,6 +120,17 @@ TimedOccupancy::advanceTo(LatticeTime t)
     return freed_;
 }
 
+void
+TimedOccupancy::clear()
+{
+    std::fill(release_.begin(), release_.end(), LatticeTime{0});
+    std::fill(counted_.begin(), counted_.end(), uint8_t{0});
+    expiry_.clear();
+    freed_.clear();
+    advanced_t_ = 0;
+    busy_count_ = 0;
+}
+
 size_t
 TimedOccupancy::busyCount(LatticeTime t) const
 {

@@ -114,6 +114,13 @@ class TimedOccupancy
     /** Total vertices in the grid. */
     size_t totalCount() const { return release_.size(); }
 
+    /**
+     * Drop every reservation and rewind the advanced front to 0, so
+     * the instance can be reused for a fresh scheduling run (the
+     * backend reset path between per-backend compilations).
+     */
+    void clear();
+
   private:
     std::vector<LatticeTime> release_;
     /** 1 while the vertex contributes to busy_count_. */

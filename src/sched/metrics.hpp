@@ -19,6 +19,7 @@
 #include "circuit/dag.hpp"
 #include "lattice/cost_model.hpp"
 #include "route/path.hpp"
+#include "sched/backend.hpp"
 
 namespace autobraid {
 
@@ -46,6 +47,9 @@ struct TraceEntry
 /** Result of scheduling one circuit. */
 struct ScheduleResult
 {
+    /** Backend that produced this schedule (sets gate durations). */
+    SchedulerBackend backend = SchedulerBackend::Braiding;
+
     Cycles makespan = 0;           ///< encoded-circuit latency in cycles
     size_t gates_scheduled = 0;    ///< gates retired
     size_t braids_routed = 0;      ///< CX/Swap braids established

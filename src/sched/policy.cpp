@@ -15,6 +15,31 @@ policyName(SchedulerPolicy policy)
     panic("policyName: unknown policy %d", static_cast<int>(policy));
 }
 
+const char *
+policyCliName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::Baseline: return "baseline";
+      case SchedulerPolicy::AutobraidSP: return "sp";
+      case SchedulerPolicy::AutobraidFull: return "full";
+    }
+    panic("policyCliName: unknown policy %d",
+          static_cast<int>(policy));
+}
+
+SchedulerPolicy
+parsePolicyName(const std::string &name)
+{
+    if (name == "baseline")
+        return SchedulerPolicy::Baseline;
+    if (name == "sp")
+        return SchedulerPolicy::AutobraidSP;
+    if (name == "full")
+        return SchedulerPolicy::AutobraidFull;
+    fatal("unknown policy '%s' (valid: baseline, sp, full)",
+          name.c_str());
+}
+
 InitialPlacementConfig
 SchedulerConfig::placementFor(SchedulerPolicy p) const
 {

@@ -24,6 +24,7 @@
 #include "lattice/geometry.hpp"
 #include "place/initial.hpp"
 #include "route/greedy_finder.hpp"
+#include "sched/backend.hpp"
 
 namespace autobraid {
 
@@ -38,10 +39,27 @@ enum class SchedulerPolicy : uint8_t
 /** Display name of @p policy. */
 const char *policyName(SchedulerPolicy policy);
 
+/** CLI spelling of @p policy (--policy=...). */
+const char *policyCliName(SchedulerPolicy policy);
+
+/**
+ * Parse a CLI policy name. Raises UserError listing the valid names on
+ * anything unrecognized — never silently defaults.
+ */
+SchedulerPolicy parsePolicyName(const std::string &name);
+
 /** Full scheduler configuration. */
 struct SchedulerConfig
 {
     SchedulerPolicy policy = SchedulerPolicy::AutobraidFull;
+
+    /**
+     * Communication backend. Braiding reserves vertex-disjoint paths;
+     * lattice surgery reserves merge regions (src/surgery/). The layout
+     * optimizer and the Maslov swap network are braiding-only.
+     */
+    SchedulerBackend backend = SchedulerBackend::Braiding;
+
     CostModel cost;
 
     /**

@@ -1,0 +1,81 @@
+#include "sched/resource_model.hpp"
+
+#include "route/greedy_finder.hpp"
+#include "sched/policy.hpp"
+#include "surgery/surgery_model.hpp"
+
+namespace autobraid {
+namespace {
+
+/**
+ * Braiding backend: vertex-disjoint corner-to-corner paths via the
+ * policy's path finder, held for the CX window (or the teleportation
+ * channel-hold prefix). This is the pre-seam scheduler behaviour moved
+ * behind the interface, byte-for-byte: finder selection, path search
+ * order, and hold arithmetic are unchanged.
+ */
+class BraidResourceModel final : public ResourceModel
+{
+  public:
+    BraidResourceModel(const Grid &grid, const SchedulerConfig &config,
+                       bool maslov_mode)
+        : cost_(config.cost),
+          channel_hold_(config.channel_hold_cycles)
+    {
+        if (maslov_mode ||
+            config.policy != SchedulerPolicy::Baseline) {
+            finder_ = std::make_unique<StackPathFinder>(grid);
+        } else {
+            // With lattice defects the fixed NW corner may be dead, so
+            // the baseline falls back to all-corner endpoints.
+            finder_ = std::make_unique<GreedyPathFinder>(
+                grid, config.baseline_order,
+                !config.dead_vertices.empty());
+        }
+    }
+
+    RoutingOutcome
+    acquire(const std::vector<CxTask> &tasks,
+            BlockedMask blocked) override
+    {
+        return finder_->findPaths(tasks, blocked);
+    }
+
+    Cycles
+    gateDuration(const Gate &g) const override
+    {
+        return cost_.duration(g);
+    }
+
+    Cycles
+    regionHold(Cycles dur) const override
+    {
+        const Cycles hold = channel_hold_;
+        if (hold == 0 || hold > dur)
+            return dur;
+        return hold;
+    }
+
+    const char *name() const override { return finder_->name(); }
+
+  private:
+    const CostModel cost_;
+    const Cycles channel_hold_;
+    std::unique_ptr<PathFinder> finder_;
+};
+
+} // namespace
+
+std::unique_ptr<ResourceModel>
+makeResourceModel(const Grid &grid, const SchedulerConfig &config,
+                  bool maslov_mode)
+{
+    if (!maslov_mode &&
+        config.backend == SchedulerBackend::LatticeSurgery)
+        return std::make_unique<LatticeSurgeryResourceModel>(
+            grid, config.cost, config.dead_vertices);
+    return std::make_unique<BraidResourceModel>(grid, config,
+                                                maslov_mode);
+}
+
+} // namespace autobraid

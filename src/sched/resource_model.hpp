@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ResourceModel — the seam between the event-driven scheduling core and
+ * backend-specific communication machinery.
+ *
+ * The dispatch loop in sched/scheduler.cpp is backend-agnostic: at every
+ * instant it asks the model to try-acquire resources for the ready
+ * two-qubit gates (one grid-vertex region per gate), holds each region
+ * for a model-defined window, and releases it through the existing
+ * TimedOccupancy expiry heap. What a "region" is belongs to the model:
+ * braiding acquires thin vertex-disjoint corner-to-corner paths
+ * (BraidResourceModel, sched/resource_model.cpp); lattice surgery
+ * acquires merge regions — an ancilla bus plus the live corners of both
+ * operand tiles (LatticeSurgeryResourceModel, src/surgery/).
+ *
+ * The interface is header-only so lower layers can implement it without
+ * linking ab_sched.
+ */
+
+#ifndef AUTOBRAID_SCHED_RESOURCE_MODEL_HPP
+#define AUTOBRAID_SCHED_RESOURCE_MODEL_HPP
+
+#include <memory>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "lattice/cost_model.hpp"
+#include "llg/bbox.hpp"
+#include "route/stack_finder.hpp"
+
+namespace autobraid {
+
+struct SchedulerConfig;
+
+/** Abstract per-backend resource acquisition for one scheduling run. */
+class ResourceModel
+{
+  public:
+    virtual ~ResourceModel() = default;
+
+    /**
+     * Try to acquire communication resources for the ready two-qubit
+     * gates of one scheduling instant. Each routed entry's Path holds
+     * the acquired region as an ordered vertex set; regions must be
+     * mutually vertex-disjoint and avoid externally @p blocked vertices
+     * (one byte per grid vertex, non-zero = unavailable).
+     */
+    virtual RoutingOutcome acquire(const std::vector<CxTask> &tasks,
+                                   BlockedMask blocked) = 0;
+
+    /** Backend-specific duration of @p g in surface-code cycles. */
+    virtual Cycles gateDuration(const Gate &g) const = 0;
+
+    /**
+     * How long an acquired region stays reserved for a gate that runs
+     * for @p dur cycles. Braiding may release early in teleportation
+     * mode (channel_hold_cycles); a lattice-surgery merge region is
+     * held for the whole merge+split window.
+     */
+    virtual Cycles regionHold(Cycles dur) const = 0;
+
+    /** Human-readable model name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Build the resource model for @p config's backend. Maslov swap-network
+ * mode always gets the braiding model (the network is a braiding-only
+ * construction).
+ */
+std::unique_ptr<ResourceModel>
+makeResourceModel(const Grid &grid, const SchedulerConfig &config,
+                  bool maslov_mode);
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_SCHED_RESOURCE_MODEL_HPP

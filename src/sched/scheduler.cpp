@@ -6,11 +6,10 @@
 
 #include "common/error.hpp"
 #include "lattice/occupancy.hpp"
-#include "route/greedy_finder.hpp"
-#include "route/stack_finder.hpp"
 #include "sched/event_queue.hpp"
 #include "sched/layout_optimizer.hpp"
 #include "sched/maslov.hpp"
+#include "sched/resource_model.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace autobraid {
@@ -30,7 +29,10 @@ class Engine
     Engine(const Circuit &circuit, const Dag &dag, const Grid &grid,
            const SchedulerConfig &config, const Placement &placement,
            bool maslov_mode)
-        : criticality_(dag.criticality(config.cost.durationFn())),
+        : backend_(maslov_mode ? SchedulerBackend::Braiding
+                               : config.backend),
+          criticality_(dag.criticality(
+              backendDurationFn(config.cost, backend_))),
           circuit_(&circuit),
           grid_(&grid),
           config_(&config),
@@ -54,16 +56,8 @@ class Engine
         blocked_mask_ = dead_;
         routable_vertices_ = static_cast<size_t>(
             std::count(dead_.begin(), dead_.end(), uint8_t{0}));
-        if (maslov_mode ||
-            config.policy != SchedulerPolicy::Baseline) {
-            finder_ = std::make_unique<StackPathFinder>(grid);
-        } else {
-            // With lattice defects the fixed NW corner may be dead, so
-            // the baseline falls back to all-corner endpoints.
-            finder_ = std::make_unique<GreedyPathFinder>(
-                grid, config.baseline_order,
-                !config.dead_vertices.empty());
-        }
+        model_ = makeResourceModel(grid, config, maslov_mode);
+        result_.backend = backend_;
     }
 
     ScheduleResult
@@ -111,6 +105,8 @@ class Engine
     }
 
   private:
+    /** Effective backend (Maslov mode always schedules braids). */
+    const SchedulerBackend backend_;
     const std::vector<Cycles> criticality_;
     const Circuit *circuit_;
     const Grid *grid_;
@@ -120,7 +116,7 @@ class Engine
     TimedOccupancy occ_;
     EventQueue events_;
     std::vector<Cycles> busy_until_;
-    std::unique_ptr<PathFinder> finder_;
+    std::unique_ptr<ResourceModel> model_;
     LayoutOptimizer optimizer_;
     SwapNetwork network_;
     const bool maslov_mode_;
@@ -305,7 +301,7 @@ class Engine
                     !admitted(g))
                     continue;
                 front_.issue(g);
-                const Cycles dur = config_->cost.duration(gate);
+                const Cycles dur = model_->gateDuration(gate);
                 if (config_->record_trace)
                     result_.trace.push_back(
                         TraceEntry{g, t, t + dur, Path{}, t + dur,
@@ -335,24 +331,14 @@ class Engine
             blocked_mask_[static_cast<size_t>(v)] = 1;
     }
 
-    /** Channel occupancy window for a braid of duration @p dur. */
-    Cycles
-    channelHold(Cycles dur) const
-    {
-        const Cycles hold = config_->channel_hold_cycles;
-        if (hold == 0 || hold > dur)
-            return dur;
-        return hold;
-    }
-
-    /** Issue one routed braid gate. */
+    /** Issue one two-qubit gate on its acquired region. */
     void
     issueBraid(Cycles t, GateIdx g, const Path &path)
     {
         const Gate &gate = circuit_->gate(g);
         front_.issue(g);
-        const Cycles dur = config_->cost.duration(gate);
-        const Cycles hold = channelHold(dur);
+        const Cycles dur = model_->gateDuration(gate);
+        const Cycles hold = model_->regionHold(dur);
         reserveChannel(t, path, t + hold);
         markBusy(gate, t + dur);
         events_.push(Event{t + dur, Event::Kind::GateFinish,
@@ -406,7 +392,7 @@ class Engine
     {
         const auto tasks = makeTasks(gates);
         auto outcome =
-            finder_->findPaths(tasks, BlockedMask(blocked_mask_));
+            model_->acquire(tasks, BlockedMask(blocked_mask_));
         for (const auto &[idx, path] : outcome.routed)
             issueBraid(t, gates[idx], path);
         result_.routing_failures += outcome.failed.size();
@@ -415,7 +401,10 @@ class Engine
                 "sched.routing_failures",
                 static_cast<long long>(outcome.failed.size()));
 
+        // The layout optimizer moves qubits via braided SWAPs; its
+        // plan geometry is meaningless under lattice surgery.
         const bool trigger =
+            backend_ == SchedulerBackend::Braiding &&
             config_->policy == SchedulerPolicy::AutobraidFull &&
             swaps_in_flight_ == 0 && outcome.failed.size() >= 2 &&
             outcome.ratio < config_->p_threshold;
@@ -454,7 +443,7 @@ class Engine
         if (!adjacent.empty()) {
             const auto tasks = makeTasks(adjacent);
             auto outcome =
-                finder_->findPaths(tasks, BlockedMask(blocked_mask_));
+                model_->acquire(tasks, BlockedMask(blocked_mask_));
             for (const auto &[idx, path] : outcome.routed)
                 issueBraid(t, adjacent[idx], path);
             issued = outcome.routed.size();
@@ -487,7 +476,7 @@ class Engine
                 CxTask::make(i, placement_.cellOf(pairs[i].first),
                              placement_.cellOf(pairs[i].second)));
         auto outcome =
-            finder_->findPaths(swap_tasks, BlockedMask(blocked_mask_));
+            model_->acquire(swap_tasks, BlockedMask(blocked_mask_));
         for (const auto &[idx, path] : outcome.routed)
             issueSwap(t, pairs[idx].first, pairs[idx].second, path);
     }

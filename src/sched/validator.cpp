@@ -114,11 +114,14 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
                        "%zu",
                        swap_entries, result.swaps_inserted));
 
-    // 2. Durations and makespan.
+    // 2. Durations and makespan. Expected durations depend on the
+    //    backend that produced the schedule (lattice surgery charges
+    //    2d cycles per CX instead of the 2d+2 braid window).
     Cycles last_gate_finish = 0;
     for (const auto &[g, e] : by_gate) {
         const Gate &gate = circuit.gate(g);
-        const Cycles want = cost.duration(gate);
+        const Cycles want =
+            backendGateDuration(cost, result.backend, gate);
         last_gate_finish = std::max(last_gate_finish, e->finish);
         if (e->finish < e->start)
             continue; // already reported; subtraction would wrap
@@ -175,8 +178,13 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
 
     // 4. Path well-formedness (geometry only; endpoint anchoring needs
     //    per-issue placements, so only adjacency/simplicity is checked
-    //    unless the caller knows the layout was static).
+    //    unless the caller knows the layout was static). A lattice-
+    //    surgery trace records merge *regions* — bus path plus the
+    //    operand tiles' live corners, which need not be contiguous —
+    //    so only bounds and simplicity apply there.
     if (grid != nullptr) {
+        const bool contiguous =
+            result.backend != SchedulerBackend::LatticeSurgery;
         for (const TraceEntry &e : result.trace) {
             if (e.path.empty())
                 continue;
@@ -187,7 +195,7 @@ validateSchedule(const Circuit &circuit, const ScheduleResult &result,
                                    v));
                     break;
                 }
-                if (i > 0) {
+                if (contiguous && i > 0) {
                     const Vertex a =
                         grid->vertex(e.path.vertices[i - 1]);
                     const Vertex b = grid->vertex(v);

@@ -1,0 +1,141 @@
+#include "surgery/surgery_model.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace autobraid {
+
+LatticeSurgeryResourceModel::LatticeSurgeryResourceModel(
+    const Grid &grid, const CostModel &cost,
+    const std::vector<VertexId> &dead_vertices)
+    : grid_(&grid),
+      cost_(cost),
+      router_(grid),
+      dead_(static_cast<size_t>(grid.numVertices()), 0),
+      in_region_(static_cast<size_t>(grid.numVertices()), 0)
+{
+    for (VertexId v : dead_vertices) {
+        require(v >= 0 && v < grid.numVertices(),
+                "LatticeSurgeryResourceModel: dead vertex out of range");
+        dead_[static_cast<size_t>(v)] = 1;
+    }
+}
+
+Cycles
+LatticeSurgeryResourceModel::gateDuration(const Gate &g) const
+{
+    if (g.kind == GateKind::CX)
+        return cost_.lsCxCycles();
+    if (g.kind == GateKind::Swap)
+        return cost_.lsSwapCycles();
+    return cost_.duration(g);
+}
+
+unsigned
+LatticeSurgeryResourceModel::liveCornerMask(const Cell &cell) const
+{
+    const auto ids = grid_->cornerIds(cell);
+    unsigned mask = 0;
+    for (size_t i = 0; i < ids.size(); ++i)
+        if (!dead_[static_cast<size_t>(ids[i])])
+            mask |= 1u << i;
+    return mask;
+}
+
+bool
+LatticeSurgeryResourceModel::buildRegion(const CxTask &task, Path &out)
+{
+    // A merge needs every live corner of both patches: the merged
+    // boundary runs along the tiles, not just along the bus. Any
+    // occupied live corner means another region already abuts this
+    // patch — the gate must wait.
+    const auto corners_a = grid_->cornerIds(task.a);
+    const auto corners_b = grid_->cornerIds(task.b);
+    for (const auto &corners : {corners_a, corners_b})
+        for (VertexId v : corners) {
+            const auto vi = static_cast<size_t>(v);
+            if (!dead_[vi] && unavailable_[vi])
+                return false;
+        }
+
+    const unsigned mask_a = liveCornerMask(task.a);
+    const unsigned mask_b = liveCornerMask(task.b);
+    if (mask_a == 0 || mask_b == 0)
+        return false;
+    const auto bus =
+        router_.route(task.a, task.b, BlockedMask(unavailable_),
+                      nullptr, mask_a, mask_b);
+    if (!bus)
+        return false;
+
+    // Region = bus path (path order) + remaining live corners of both
+    // tiles (ascending), deduplicated via the in_region_ stamp bytes.
+    region_.clear();
+    for (VertexId v : bus->vertices) {
+        if (in_region_[static_cast<size_t>(v)])
+            continue;
+        in_region_[static_cast<size_t>(v)] = 1;
+        region_.push_back(v);
+    }
+    std::array<VertexId, 8> extras;
+    size_t num_extras = 0;
+    for (const auto &corners : {corners_a, corners_b})
+        for (VertexId v : corners) {
+            const auto vi = static_cast<size_t>(v);
+            if (dead_[vi] || in_region_[vi])
+                continue;
+            in_region_[vi] = 1;
+            extras[num_extras++] = v;
+        }
+    std::sort(extras.begin(), extras.begin() +
+                                  static_cast<long>(num_extras));
+    region_.insert(region_.end(), extras.begin(),
+                   extras.begin() + static_cast<long>(num_extras));
+    for (VertexId v : region_)
+        in_region_[static_cast<size_t>(v)] = 0;
+    out.vertices = region_;
+    return true;
+}
+
+RoutingOutcome
+LatticeSurgeryResourceModel::acquire(const std::vector<CxTask> &tasks,
+                                     BlockedMask blocked)
+{
+    AUTOBRAID_SPAN("surgery.acquire");
+    RoutingOutcome outcome;
+    if (tasks.empty())
+        return outcome;
+    unavailable_.assign(blocked.data(),
+                        blocked.data() + blocked.size());
+
+    // Most-critical merges first; index breaks ties deterministically.
+    order_.resize(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i)
+        order_[i] = i;
+    std::sort(order_.begin(), order_.end(),
+              [&tasks](size_t x, size_t y) {
+                  if (tasks[x].priority != tasks[y].priority)
+                      return tasks[x].priority > tasks[y].priority;
+                  return x < y;
+              });
+
+    Path region;
+    for (size_t idx : order_) {
+        if (!buildRegion(tasks[idx], region)) {
+            outcome.failed.push_back(idx);
+            continue;
+        }
+        for (VertexId v : region.vertices)
+            unavailable_[static_cast<size_t>(v)] = 1;
+        outcome.routed.emplace_back(idx, region);
+    }
+    std::sort(outcome.failed.begin(), outcome.failed.end());
+    outcome.ratio = static_cast<double>(outcome.routed.size()) /
+                    static_cast<double>(tasks.size());
+    return outcome;
+}
+
+} // namespace autobraid

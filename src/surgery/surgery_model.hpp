@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lattice-surgery resource model.
+ *
+ * A CX is implemented as a patch merge followed by a split (Horsman et
+ * al.'s lattice surgery; Paler's braid<->LS translation maps the
+ * paper's braids onto it, and Lao et al. treat LS scheduling as the
+ * same resource-reservation problem this repo already solves for
+ * braids). Instead of holding a thin vertex-disjoint path for the
+ * 2d+2-cycle braid window, this backend reserves a merge *region* — an
+ * ancilla bus routed corner-to-corner between the operand tiles plus
+ * every live corner of both tiles — for the merge+split window
+ * (CostModel::lsCxCycles = 2d cycles). Concurrent regions must be
+ * vertex-disjoint, mirroring the requirement that simultaneous merges
+ * not share patch boundary.
+ *
+ * Defect robustness: a region only ever contains *live* vertices (dead
+ * corners are excluded from both the bus search and the corner set),
+ * and DefectMap guarantees every tile keeps >= 1 live corner with the
+ * live routing graph connected — so an otherwise idle machine can
+ * always acquire a region for at least one ready gate and the
+ * event-driven scheduler cannot deadlock on fuzzed defect sets.
+ */
+
+#ifndef AUTOBRAID_SURGERY_SURGERY_MODEL_HPP
+#define AUTOBRAID_SURGERY_SURGERY_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "route/astar.hpp"
+#include "sched/resource_model.hpp"
+
+namespace autobraid {
+
+/** Lattice-surgery backend behind the ResourceModel seam. */
+class LatticeSurgeryResourceModel final : public ResourceModel
+{
+  public:
+    LatticeSurgeryResourceModel(
+        const Grid &grid, const CostModel &cost,
+        const std::vector<VertexId> &dead_vertices);
+
+    RoutingOutcome acquire(const std::vector<CxTask> &tasks,
+                           BlockedMask blocked) override;
+
+    Cycles gateDuration(const Gate &g) const override;
+
+    /** Merge regions are held for the whole merge+split window. */
+    Cycles regionHold(Cycles dur) const override { return dur; }
+
+    const char *name() const override { return "lattice-surgery"; }
+
+  private:
+    const Grid *grid_;
+    const CostModel cost_;
+    AStarRouter router_;
+    std::vector<uint8_t> dead_;
+
+    // Persistent scratch reused across acquire() calls, mirroring
+    // StackPathFinder's allocation-free inner loop.
+    std::vector<uint8_t> unavailable_;
+    std::vector<size_t> order_;
+    std::vector<uint8_t> in_region_;
+    std::vector<VertexId> region_;
+
+    /** Corner bitmask of @p cell's live corners (NW/NE/SW/SE bits). */
+    unsigned liveCornerMask(const Cell &cell) const;
+
+    /**
+     * Assemble the merge region for @p task against the current
+     * unavailable_ mask: the bus path first (in path order), then the
+     * remaining live corners of both tiles in ascending vertex order.
+     * False when a live corner is occupied or no bus path exists.
+     */
+    bool buildRegion(const CxTask &task, Path &out);
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_SURGERY_SURGERY_MODEL_HPP

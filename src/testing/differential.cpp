@@ -102,7 +102,12 @@ void
 checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
                std::vector<std::string> &failures)
 {
-    const char *name = policyName(run.policy);
+    const std::string label =
+        c.options.backend == SchedulerBackend::Braiding
+            ? std::string(policyName(run.policy))
+            : strformat("%s@%s", policyName(run.policy),
+                        backendCliName(c.options.backend));
+    const char *name = label.c_str();
     auto fail = [&failures, &c, name](std::string what) {
         failures.push_back(strformat("[%s] %s — %s", name,
                                      what.c_str(),
@@ -148,9 +153,12 @@ checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
     // Lint oracle (when the pipeline ran with lint enabled): reaching
     // this point means the schedule is valid, so any error-level lint
     // was successfully routed around — but the AB202 channel-capacity
-    // bound must still be sound for swap-free, non-Maslov schedules.
+    // bound must still be sound for swap-free, non-Maslov *braiding*
+    // schedules (the bound is computed from the braid hold window, so
+    // it makes no soundness claim about lattice surgery).
     if (run.report.lint && r.swaps_inserted == 0 &&
-        !run.report.used_maslov) {
+        !run.report.used_maslov &&
+        r.backend == SchedulerBackend::Braiding) {
         const auto &metrics = run.report.lint->metrics();
         const auto it = metrics.find("channel_bound_cycles");
         if (it != metrics.end() && it->second > 0 &&
@@ -249,6 +257,64 @@ runDifferentialCase(const FuzzCase &c, unsigned mask,
     return out;
 }
 
+CrossBackendResult
+runCrossBackendCase(const FuzzCase &c)
+{
+    AUTOBRAID_SPAN("fuzz.cross_backend_case");
+    CrossBackendResult out;
+    for (const SchedulerBackend backend :
+         {SchedulerBackend::Braiding,
+          SchedulerBackend::LatticeSurgery}) {
+        CompileOptions opt = c.options;
+        opt.policy = SchedulerPolicy::AutobraidFull;
+        opt.backend = backend;
+        opt.record_trace = true;
+        opt.lint_level = lint::LintLevel::Off;
+        auto fail = [&out, &c, backend](std::string what) {
+            out.failures.push_back(
+                strformat("[cross/%s] %s — %s",
+                          backendCliName(backend), what.c_str(),
+                          c.summary().c_str()));
+        };
+        CompileReport report;
+        try {
+            report = compileCircuit(c.circuit, opt);
+        } catch (const std::exception &e) {
+            fail(strformat("compile threw: %s", e.what()));
+            continue;
+        }
+        const ScheduleResult &r = report.result;
+        if (!r.valid) {
+            fail("result marked invalid");
+            continue;
+        }
+        const Grid grid = Grid::forQubits(c.circuit.numQubits());
+        const Grid *geometry =
+            r.swaps_inserted == 0 ? &grid : nullptr;
+        const ValidationReport v =
+            validateSchedule(c.circuit, r, opt.cost, geometry);
+        if (!v.ok)
+            fail("validator: " + v.toString());
+        if (r.gates_scheduled != c.circuit.size())
+            fail(strformat("retired %zu of %zu gates",
+                           r.gates_scheduled, c.circuit.size()));
+        if (r.makespan < report.critical_path)
+            fail(strformat(
+                "makespan %llu below critical path %llu",
+                static_cast<unsigned long long>(r.makespan),
+                static_cast<unsigned long long>(
+                    report.critical_path)));
+        if (backend == SchedulerBackend::Braiding)
+            out.makespan_braiding = r.makespan;
+        else
+            out.makespan_surgery = r.makespan;
+    }
+    out.ok = out.failures.empty();
+    if (!out.ok)
+        AUTOBRAID_COUNT("fuzz.failed_cases");
+    return out;
+}
+
 std::vector<std::string>
 checkBatchDeterminism(const FuzzCase &c, unsigned mask, int threads)
 {
@@ -299,7 +365,8 @@ checkBatchDeterminism(const FuzzCase &c, unsigned mask, int threads)
 }
 
 DifferentialResult
-runDegenerateGridCase(uint64_t seed, unsigned mask)
+runDegenerateGridCase(uint64_t seed, unsigned mask,
+                      SchedulerBackend backend)
 {
     AUTOBRAID_SPAN("fuzz.degenerate_case");
     Rng rng(seed ^ 0xdead'1a77'1ceeULL);
@@ -333,6 +400,7 @@ runDegenerateGridCase(uint64_t seed, unsigned mask)
             continue;
         SchedulerConfig config;
         config.policy = p.policy;
+        config.backend = backend;
         config.seed = seed;
         config.record_trace = true;
         PolicyOutcome run;

@@ -78,10 +78,32 @@ struct DifferentialResult
  * Compile @p c under every policy in @p mask and cross-check. When
  * @p lint_oracle is set, the pipeline runs with lint_level = All and
  * the lint invariants above are checked alongside the schedule ones.
+ * The case's CompileOptions::backend selects the communication
+ * backend; every per-policy oracle is backend-aware (the AB202 bound
+ * check only applies to braiding schedules).
  */
 DifferentialResult runDifferentialCase(const FuzzCase &c,
                                        unsigned mask = kMaskAll,
                                        bool lint_oracle = true);
+
+/** Cross-backend comparison of one case (reporting, not asserting). */
+struct CrossBackendResult
+{
+    bool ok = true;
+    std::vector<std::string> failures;
+    Cycles makespan_braiding = 0;
+    Cycles makespan_surgery = 0;
+};
+
+/**
+ * Compile @p c with the AutobraidFull policy under *both* backends and
+ * validate each schedule independently (validity, full retirement,
+ * makespan >= the backend's critical path). The two makespans are
+ * returned for reporting; they are deliberately never asserted equal —
+ * braiding and lattice surgery are different semantics, the point is a
+ * side-by-side comparison, not agreement.
+ */
+CrossBackendResult runCrossBackendCase(const FuzzCase &c);
 
 /**
  * Compile the case's policy variants through BatchCompiler with 1
@@ -96,10 +118,11 @@ std::vector<std::string> checkBatchDeterminism(const FuzzCase &c,
  * Degenerate-lattice case: drive BraidScheduler directly on strip
  * grids (1xN / Nx1) that Grid::forQubits never produces, with chain
  * traffic and an identity placement, validating each policy's trace
- * against the strip grid.
+ * against the strip grid under @p backend.
  */
-DifferentialResult runDegenerateGridCase(uint64_t seed,
-                                         unsigned mask = kMaskAll);
+DifferentialResult runDegenerateGridCase(
+    uint64_t seed, unsigned mask = kMaskAll,
+    SchedulerBackend backend = SchedulerBackend::Braiding);
 
 } // namespace fuzz
 } // namespace autobraid

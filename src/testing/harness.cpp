@@ -1,5 +1,6 @@
 #include "testing/harness.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/text.hpp"
@@ -16,6 +17,14 @@ FuzzSummary::toString() const
         "seeds in %.1fs%s",
         cases, degenerate_cases, batch_checks, failures.size(),
         seconds, budget_exhausted ? " (budget exhausted)" : "");
+    if (cross_backend_checks > 0)
+        out += strformat(
+            "\ncross-backend: %d checks, surgery/braiding makespan "
+            "ratio avg %.3f min %.3f max %.3f (reported, not "
+            "asserted)",
+            cross_backend_checks,
+            cross_ratio_sum / cross_backend_checks, cross_ratio_min,
+            cross_ratio_max);
     for (const FuzzFailure &f : failures) {
         out += strformat("\nseed %llu (reproducer %zu of %zu gates):",
                          static_cast<unsigned long long>(f.seed),
@@ -74,7 +83,8 @@ runFuzz(const FuzzOptions &opt)
         }
         const uint64_t seed = opt.start_seed + static_cast<uint64_t>(i);
         AUTOBRAID_SPAN("fuzz.case");
-        const FuzzCase c = makeFuzzCase(seed);
+        FuzzCase c = makeFuzzCase(seed);
+        c.options.backend = opt.backend;
         DifferentialResult diff =
             runDifferentialCase(c, opt.policy_mask, opt.lint_oracle);
         ++summary.cases;
@@ -88,14 +98,39 @@ runFuzz(const FuzzOptions &opt)
                                  batch.end());
             diff.ok = diff.failures.empty();
         }
+        if (diff.ok && opt.cross_backend_stride > 0 &&
+            i % opt.cross_backend_stride == 0) {
+            const CrossBackendResult cross = runCrossBackendCase(c);
+            if (cross.makespan_braiding > 0 &&
+                cross.makespan_surgery > 0) {
+                const double ratio =
+                    static_cast<double>(cross.makespan_surgery) /
+                    static_cast<double>(cross.makespan_braiding);
+                if (summary.cross_backend_checks == 0) {
+                    summary.cross_ratio_min = ratio;
+                    summary.cross_ratio_max = ratio;
+                }
+                summary.cross_ratio_sum += ratio;
+                summary.cross_ratio_min =
+                    std::min(summary.cross_ratio_min, ratio);
+                summary.cross_ratio_max =
+                    std::max(summary.cross_ratio_max, ratio);
+                ++summary.cross_backend_checks;
+                AUTOBRAID_OBSERVE("fuzz.cross_backend_ratio", ratio);
+            }
+            diff.failures.insert(diff.failures.end(),
+                                 cross.failures.begin(),
+                                 cross.failures.end());
+            diff.ok = diff.failures.empty();
+        }
         if (!diff.ok)
             summary.failures.push_back(
                 makeFailure(c, std::move(diff.failures), opt));
 
         if (opt.degenerate_stride > 0 &&
             i % opt.degenerate_stride == 0) {
-            const DifferentialResult degen =
-                runDegenerateGridCase(seed, opt.policy_mask);
+            const DifferentialResult degen = runDegenerateGridCase(
+                seed, opt.policy_mask, opt.backend);
             ++summary.degenerate_cases;
             if (!degen.ok) {
                 // Strip-grid cases bypass the pipeline, so there is no

@@ -29,8 +29,20 @@ struct FuzzOptions
     int seeds = 100;           ///< cases to run from start_seed
     double budget_seconds = 0; ///< wall-clock cap; 0 = unlimited
     unsigned policy_mask = kMaskAll;
+
+    /** Backend every differential case compiles under. */
+    SchedulerBackend backend = SchedulerBackend::Braiding;
+
     int batch_stride = 8;      ///< batch-determinism every Nth case (0=off)
     int degenerate_stride = 16; ///< strip-grid case every Nth seed (0=off)
+
+    /**
+     * Cross-backend comparison every Nth case (0 = off): compile under
+     * both backends, validate each, and record the makespan pair for
+     * reporting (never asserted equal).
+     */
+    int cross_backend_stride = 16;
+
     bool lint_oracle = true;   ///< run the static-analysis oracle
     bool shrink = true;        ///< shrink failing circuits
     ShrinkOptions shrink_options;
@@ -51,6 +63,14 @@ struct FuzzSummary
     int cases = 0;             ///< differential cases completed
     int degenerate_cases = 0;
     int batch_checks = 0;
+
+    /** Cross-backend comparisons with both makespans available. */
+    int cross_backend_checks = 0;
+    /** Sum / min / max of surgery-to-braiding makespan ratios. */
+    double cross_ratio_sum = 0;
+    double cross_ratio_min = 0;
+    double cross_ratio_max = 0;
+
     double seconds = 0;
     bool budget_exhausted = false;
     std::vector<FuzzFailure> failures;

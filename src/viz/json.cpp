@@ -53,6 +53,8 @@ reportToJson(const CompileReport &report, const CostModel &cost,
     out += strformat("\"circuit\":\"%s\",",
                      jsonEscape(report.circuit_name).c_str());
     out += strformat("\"policy\":\"%s\",", policyName(report.policy));
+    out += strformat("\"backend\":\"%s\",",
+                     backendName(report.backend));
     out += strformat("\"num_qubits\":%d,", report.num_qubits);
     out += strformat("\"num_gates\":%zu,", report.num_gates);
     out += strformat("\"grid_side\":%d,", report.grid_side);

@@ -1,0 +1,18 @@
+// Seeded layout defect for AB204 (lattice too small for lattice
+// surgery). The 4-qubit all-pairs circuit elaborates onto a 2x2 tile
+// grid (9 routing vertices); linting it with the plus-shaped dead set
+// 1,3,4,5,7 leaves only the four outer corner vertices alive, so the
+// diagonal CX pair's merge region (2 live corners + 3 bus-interior
+// vertices = 5) exceeds the 4 live vertices. The same set also
+// disconnects the live graph, so AB203 co-fires.
+//
+//   autobraid_lint --dead=1,3,4,5,7 surgery_grid.qasm
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cx q[0], q[1];
+cx q[0], q[2];
+cx q[0], q[3];
+cx q[1], q[2];
+cx q[1], q[3];
+cx q[2], q[3];

@@ -77,10 +77,11 @@ lintSource(const std::string &body, LintOptions options = {})
 TEST(Catalog, EveryFamilyRegistered)
 {
     const auto &catalog = lint::diagnosticCatalog();
-    EXPECT_GE(catalog.size(), 12u);
+    EXPECT_GE(catalog.size(), 13u);
     for (const char *code :
          {"AB101", "AB102", "AB103", "AB104", "AB105", "AB106",
-          "AB107", "AB201", "AB202", "AB203", "AB301", "AB302"}) {
+          "AB107", "AB201", "AB202", "AB203", "AB204", "AB301",
+          "AB302"}) {
         const lint::DiagInfo *info = lint::findDiagInfo(code);
         ASSERT_NE(info, nullptr) << code;
         EXPECT_STREQ(info->code, code);
@@ -640,6 +641,44 @@ TEST(LayoutLints, ChannelBoundMetricAndNote)
     EXPECT_EQ(e.metrics().at("channel_bound_cycles"), 5);
 }
 
+TEST(LayoutLints, SurgeryCapacityAB204)
+{
+    // Killing vertex columns 1 and 3 of a 1x4 strip leaves 6 live
+    // vertices; the end-to-end CX's merge region needs its 4 live
+    // corners plus 3 bus-interior vertices = 7.
+    const Grid grid(1, 4);
+    const std::vector<VertexId> dead{
+        grid.vid(Vertex{0, 1}), grid.vid(Vertex{1, 1}),
+        grid.vid(Vertex{0, 3}), grid.vid(Vertex{1, 3})};
+    const std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{0, 0}, Cell{0, 3})};
+    DiagnosticEngine e;
+    lint::lintSurgeryCapacity(grid, dead, tasks, e);
+    ASSERT_EQ(codeCount(e, "AB204"), 1u);
+    EXPECT_TRUE(e.hasErrors());
+    const std::string &msg = firstCode(e, "AB204")->message;
+    EXPECT_NE(msg.find(">= 7"), std::string::npos);
+    EXPECT_NE(msg.find("side >= 2"), std::string::npos);
+
+    // Defect-free lattices always host every merge region.
+    DiagnosticEngine clean;
+    lint::lintSurgeryCapacity(grid, {}, tasks, clean);
+    EXPECT_TRUE(clean.diagnostics().empty());
+    const Grid square(2, 2);
+    const std::vector<CxTask> diagonal{
+        CxTask::make(0, Cell{0, 0}, Cell{1, 1})};
+    DiagnosticEngine clean2;
+    lint::lintSurgeryCapacity(square, {}, diagonal, clean2);
+    EXPECT_TRUE(clean2.diagnostics().empty());
+
+    // A tile with every corner dead is AB201's report, not AB204's.
+    const auto corners = square.cornerIds(Cell{0, 0});
+    DiagnosticEngine skip;
+    lint::lintSurgeryCapacity(
+        square, {corners.begin(), corners.end()}, diagonal, skip);
+    EXPECT_EQ(codeCount(skip, "AB204"), 0u);
+}
+
 TEST(LayoutLints, EffectiveHold)
 {
     CostModel cost;
@@ -925,6 +964,66 @@ TEST(LintOracle, CanBeDisabled)
     EXPECT_TRUE(without.ok) << without.toString();
     ASSERT_EQ(without.runs.size(), 1u);
     EXPECT_EQ(without.runs[0].report.lint, nullptr);
+}
+
+// --------------------------------------------------------------------
+// Lint corpus (tests/lint-corpus): files with seeded defects, each
+// documenting the diagnostics it must produce.
+// --------------------------------------------------------------------
+
+std::string
+corpusPath(const char *name)
+{
+    return std::string(AB_LINT_CORPUS_DIR) + "/" + name;
+}
+
+TEST(Corpus, BadAstSeededDiagnostics)
+{
+    const qasm::Program program =
+        qasm::parseFile(corpusPath("bad_ast.qasm"));
+    DiagnosticEngine e;
+    lint::runProgramAnalyses(program, e, "bad_ast.qasm");
+    EXPECT_EQ(codeCount(e, "AB101"), 1u);
+    EXPECT_EQ(codeCount(e, "AB102"), 1u);
+    EXPECT_EQ(codeCount(e, "AB104"), 1u);
+    EXPECT_EQ(codeCount(e, "AB105"), 2u);
+}
+
+TEST(Corpus, BadCircuitSeededDiagnostics)
+{
+    const qasm::ElaboratedCircuit ec = qasm::elaborateWithLines(
+        qasm::parseFile(corpusPath("bad_circuit.qasm")),
+        "bad_circuit.qasm");
+    DiagnosticEngine e;
+    lint::lintCircuit(ec.circuit, e);
+    EXPECT_EQ(codeCount(e, "AB103"), 1u);
+    EXPECT_EQ(codeCount(e, "AB106"), 1u);
+    EXPECT_EQ(codeCount(e, "AB107"), 1u);
+}
+
+TEST(Corpus, SurgeryGridAB204)
+{
+    const qasm::ElaboratedCircuit ec = qasm::elaborateWithLines(
+        qasm::parseFile(corpusPath("surgery_grid.qasm")),
+        "surgery_grid.qasm");
+    const Grid grid = Grid::forQubits(ec.circuit.numQubits());
+    ASSERT_EQ(grid.rows(), 2);
+    ASSERT_EQ(grid.cols(), 2);
+    // The plus-shaped dead set documented in the corpus file.
+    const std::vector<VertexId> dead{
+        grid.vid(Vertex{0, 1}), grid.vid(Vertex{1, 0}),
+        grid.vid(Vertex{1, 1}), grid.vid(Vertex{1, 2}),
+        grid.vid(Vertex{2, 1})};
+    const Placement placement(grid, ec.circuit.numQubits());
+    DiagnosticEngine e;
+    lint::runCircuitAnalyses(ec.circuit, grid, dead, &placement, e);
+    EXPECT_EQ(codeCount(e, "AB204"), 1u);
+    EXPECT_EQ(codeCount(e, "AB203"), 1u); // documented co-fire
+    // The minimum-side note survives into the SARIF output.
+    const std::string sarif = e.toSarif();
+    EXPECT_TRUE(JsonChecker(sarif).valid());
+    EXPECT_NE(sarif.find("\"ruleId\":\"AB204\""), std::string::npos);
+    EXPECT_NE(sarif.find("side >= 2"), std::string::npos);
 }
 
 // --------------------------------------------------------------------

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Lattice-surgery backend tests: the cost-model windows, backend/policy
+ * CLI-name round-trips and strict parse errors, the merge-region
+ * semantics of LatticeSurgeryResourceModel, end-to-end surgery
+ * compiles through the validator (including defect tolerance and
+ * determinism), cross-backend comparison, and the occupancy error
+ * paths the backends share.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compiler/driver.hpp"
+#include "gen/registry.hpp"
+#include "lattice/defects.hpp"
+#include "lattice/occupancy.hpp"
+#include "sched/validator.hpp"
+#include "surgery/surgery_model.hpp"
+#include "testing/differential.hpp"
+
+namespace autobraid {
+namespace {
+
+// --------------------------------------------------------------------
+// Cost model: lattice-surgery windows
+// --------------------------------------------------------------------
+
+TEST(SurgeryCost, MergeSplitWindows)
+{
+    CostModel cost;
+    cost.distance = 33;
+    EXPECT_EQ(cost.cxCycles(), 68u);   // braid: 2d + 2
+    EXPECT_EQ(cost.lsCxCycles(), 66u); // merge + split: 2d
+    EXPECT_EQ(cost.lsSwapCycles(), 3 * cost.lsCxCycles());
+    // The LS CX is strictly shorter than the braid CX for every d.
+    for (int d : {3, 5, 17, 33})
+    {
+        cost.distance = d;
+        EXPECT_LT(cost.lsCxCycles(), cost.cxCycles()) << d;
+    }
+}
+
+// --------------------------------------------------------------------
+// Backend / policy names (CLI round-trips and strict parsing)
+// --------------------------------------------------------------------
+
+TEST(BackendNames, RoundTripAndAliases)
+{
+    for (SchedulerBackend b : {SchedulerBackend::Braiding,
+                               SchedulerBackend::LatticeSurgery}) {
+        EXPECT_EQ(parseBackendName(backendCliName(b)), b);
+        EXPECT_EQ(parseBackendName(backendName(b)), b);
+    }
+    EXPECT_STREQ(backendName(SchedulerBackend::Braiding), "braiding");
+    EXPECT_STREQ(backendName(SchedulerBackend::LatticeSurgery),
+                 "lattice-surgery");
+    EXPECT_STREQ(backendCliName(SchedulerBackend::LatticeSurgery),
+                 "surgery");
+    EXPECT_EQ(parseBackendName("surgery"),
+              SchedulerBackend::LatticeSurgery);
+}
+
+TEST(BackendNames, UnknownBackendRejectedWithValidList)
+{
+    try {
+        parseBackendName("teleport");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("teleport"), std::string::npos);
+        EXPECT_NE(msg.find("braiding"), std::string::npos);
+        EXPECT_NE(msg.find("surgery"), std::string::npos);
+    }
+    EXPECT_THROW(parseBackendName(""), UserError);
+}
+
+TEST(PolicyNames, RoundTripAndStrictParsing)
+{
+    for (SchedulerPolicy p : {SchedulerPolicy::Baseline,
+                              SchedulerPolicy::AutobraidSP,
+                              SchedulerPolicy::AutobraidFull})
+        EXPECT_EQ(parsePolicyName(policyCliName(p)), p);
+    EXPECT_EQ(parsePolicyName("full"), SchedulerPolicy::AutobraidFull);
+    try {
+        parsePolicyName("fastest");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("fastest"), std::string::npos);
+        EXPECT_NE(msg.find("baseline"), std::string::npos);
+        EXPECT_NE(msg.find("sp"), std::string::npos);
+        EXPECT_NE(msg.find("full"), std::string::npos);
+    }
+}
+
+// --------------------------------------------------------------------
+// Merge-region semantics of the resource model
+// --------------------------------------------------------------------
+
+TEST(SurgeryModel, RegionCoversCornersAndBus)
+{
+    const Grid grid(2, 2);
+    const CostModel cost;
+    LatticeSurgeryResourceModel model(grid, cost, {});
+    const std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{0, 0}, Cell{1, 1})};
+    const std::vector<uint8_t> blocked = noBlockedVertices(grid);
+    const RoutingOutcome out = model.acquire(tasks, blocked);
+    ASSERT_EQ(out.routed.size(), 1u);
+    EXPECT_TRUE(out.failed.empty());
+    EXPECT_EQ(out.ratio, 1.0);
+
+    const std::vector<VertexId> &region =
+        out.routed[0].second.vertices;
+    // Every corner of both operand tiles is in the region.
+    for (const Cell &cell : {Cell{0, 0}, Cell{1, 1}})
+        for (VertexId v : grid.cornerIds(cell))
+            EXPECT_NE(std::find(region.begin(), region.end(), v),
+                      region.end())
+                << "corner " << v << " missing";
+    // No duplicates: the region is a set.
+    for (size_t i = 0; i < region.size(); ++i)
+        for (size_t j = i + 1; j < region.size(); ++j)
+            EXPECT_NE(region[i], region[j]);
+}
+
+TEST(SurgeryModel, ConcurrentRegionsAreDisjoint)
+{
+    // Two gates sharing tile (0,1): the second merge must wait.
+    const Grid grid(2, 2);
+    const CostModel cost;
+    LatticeSurgeryResourceModel model(grid, cost, {});
+    std::vector<CxTask> tasks{CxTask::make(0, Cell{0, 0}, Cell{0, 1}),
+                              CxTask::make(1, Cell{0, 1}, Cell{1, 1})};
+    tasks[0].priority = 10; // routed first
+    const std::vector<uint8_t> blocked = noBlockedVertices(grid);
+    const RoutingOutcome out = model.acquire(tasks, blocked);
+    ASSERT_EQ(out.routed.size(), 1u);
+    EXPECT_EQ(out.routed[0].first, 0u);
+    ASSERT_EQ(out.failed.size(), 1u);
+    EXPECT_EQ(out.failed[0], 1u);
+    EXPECT_EQ(out.ratio, 0.5);
+}
+
+TEST(SurgeryModel, DeadCornersExcludedFromRegions)
+{
+    const Grid grid(2, 2);
+    const CostModel cost;
+    // Kill one corner of each operand tile; regions must route around
+    // and never contain a dead vertex.
+    const std::vector<VertexId> dead{grid.vid(Vertex{0, 0}),
+                                     grid.vid(Vertex{2, 2})};
+    LatticeSurgeryResourceModel model(grid, cost, dead);
+    const std::vector<CxTask> tasks{
+        CxTask::make(0, Cell{0, 0}, Cell{1, 1})};
+    const std::vector<uint8_t> blocked = noBlockedVertices(grid);
+    const RoutingOutcome out = model.acquire(tasks, blocked);
+    ASSERT_EQ(out.routed.size(), 1u);
+    for (VertexId v : out.routed[0].second.vertices)
+        for (VertexId d : dead)
+            EXPECT_NE(v, d);
+}
+
+TEST(SurgeryModel, DurationsAndHold)
+{
+    const Grid grid(2, 2);
+    CostModel cost;
+    cost.distance = 5;
+    LatticeSurgeryResourceModel model(grid, cost, {});
+    Circuit c(2, "durations");
+    c.cx(0, 1);
+    c.swap(0, 1);
+    c.h(0);
+    EXPECT_EQ(model.gateDuration(c.gate(0)), cost.lsCxCycles());
+    EXPECT_EQ(model.gateDuration(c.gate(1)), cost.lsSwapCycles());
+    EXPECT_EQ(model.gateDuration(c.gate(2)),
+              cost.duration(c.gate(2)));
+    // Merge regions are held for the whole window, never released
+    // early by teleport-style channel holds.
+    EXPECT_EQ(model.regionHold(66), 66u);
+    EXPECT_STREQ(model.name(), "lattice-surgery");
+}
+
+// --------------------------------------------------------------------
+// End-to-end surgery compiles
+// --------------------------------------------------------------------
+
+CompileOptions
+surgeryOptions()
+{
+    CompileOptions opt;
+    opt.backend = SchedulerBackend::LatticeSurgery;
+    opt.record_trace = true;
+    return opt;
+}
+
+TEST(SurgeryCompile, ValidSchedulesAcrossBenchmarks)
+{
+    for (const char *spec : {"qft:9", "ghz:8", "adder:4", "im:9:2"}) {
+        const Circuit c = gen::make(spec);
+        const CompileOptions opt = surgeryOptions();
+        const CompileReport report = compileCircuit(c, opt);
+        EXPECT_EQ(report.backend, SchedulerBackend::LatticeSurgery)
+            << spec;
+        EXPECT_EQ(report.result.backend,
+                  SchedulerBackend::LatticeSurgery)
+            << spec;
+        EXPECT_TRUE(report.result.valid) << spec;
+        EXPECT_FALSE(report.used_maslov) << spec;
+        EXPECT_EQ(report.result.gates_scheduled, c.size()) << spec;
+        EXPECT_EQ(report.result.swaps_inserted, 0u) << spec;
+        EXPECT_GE(report.result.makespan, report.critical_path)
+            << spec;
+        const Grid grid = Grid::forQubits(c.numQubits());
+        const ValidationReport vr =
+            validateSchedule(c, report.result, opt.cost, &grid);
+        EXPECT_TRUE(vr.ok) << spec << "\n" << vr.toString();
+    }
+}
+
+TEST(SurgeryCompile, ToleratesLatticeDefects)
+{
+    const Circuit c = gen::make("qft:9");
+    CompileOptions opt = surgeryOptions();
+    const Grid grid = Grid::forQubits(c.numQubits());
+    Rng rng(opt.seed ^ 0xdefecu);
+    opt.dead_vertices =
+        DefectMap::random(grid, 3, rng).deadVertices();
+    const CompileReport report = compileCircuit(c, opt);
+    EXPECT_TRUE(report.result.valid);
+    EXPECT_EQ(report.result.gates_scheduled, c.size());
+    const ValidationReport vr =
+        validateSchedule(c, report.result, opt.cost, &grid);
+    EXPECT_TRUE(vr.ok) << vr.toString();
+    // Regions never contain dead vertices.
+    for (const TraceEntry &e : report.result.trace)
+        for (VertexId v : e.path.vertices)
+            for (VertexId d : opt.dead_vertices)
+                EXPECT_NE(v, d);
+}
+
+TEST(SurgeryCompile, DeterministicMetricsSummary)
+{
+    const Circuit c = gen::make("qft:9");
+    const CompileReport a = compileCircuit(c, surgeryOptions());
+    const CompileReport b = compileCircuit(c, surgeryOptions());
+    EXPECT_EQ(a.metricsSummary(), b.metricsSummary());
+    EXPECT_NE(a.metricsSummary().find("backend=lattice-surgery"),
+              std::string::npos);
+
+    // The braiding summary differs only where it should: same
+    // circuit, different backend tag and timings.
+    CompileOptions braid;
+    braid.record_trace = true;
+    const CompileReport br = compileCircuit(c, braid);
+    EXPECT_NE(br.metricsSummary().find("backend=braiding"),
+              std::string::npos);
+}
+
+TEST(SurgeryCompile, CrossBackendMakespansReported)
+{
+    const fuzz::FuzzCase c = fuzz::makeFuzzCase(4242);
+    const fuzz::CrossBackendResult cross =
+        fuzz::runCrossBackendCase(c);
+    std::string joined;
+    for (const std::string &f : cross.failures)
+        joined += f + "\n";
+    EXPECT_TRUE(cross.ok) << joined;
+    EXPECT_GT(cross.makespan_braiding, 0u);
+    EXPECT_GT(cross.makespan_surgery, 0u);
+    // Deliberately no assertion that the two agree: different
+    // semantics, reported side by side.
+}
+
+// --------------------------------------------------------------------
+// Occupancy error paths shared by both backends
+// --------------------------------------------------------------------
+
+TEST(Occupancy, ClaimAndReleaseErrorPaths)
+{
+    const Grid grid(2, 2);
+    Occupancy occ(grid);
+    occ.claim({0, 1, 2});
+    EXPECT_EQ(occ.usedCount(), 3u);
+    EXPECT_FALSE(occ.free(1));
+    EXPECT_THROW(occ.claim({1}), InternalError);
+    EXPECT_THROW(occ.claimVertex(2), InternalError);
+    EXPECT_THROW(occ.release({3}), InternalError);
+    occ.release({0, 1, 2});
+    EXPECT_EQ(occ.usedCount(), 0u);
+    EXPECT_THROW(occ.release({0}), InternalError);
+    occ.claim({4});
+    occ.clear();
+    EXPECT_EQ(occ.usedCount(), 0u);
+    EXPECT_TRUE(occ.free(4));
+}
+
+TEST(TimedOccupancy, ExpiryHeapAcrossClearAndReuse)
+{
+    const Grid grid(2, 2); // 9 vertices
+    TimedOccupancy occ(grid);
+    occ.reserve({0, 1, 2}, 10);
+    occ.reserve({3}, 5);
+    occ.advanceTo(0);
+    EXPECT_EQ(occ.busyCount(0), 4u);
+
+    const std::vector<VertexId> freed5 = occ.advanceTo(5);
+    ASSERT_EQ(freed5.size(), 1u);
+    EXPECT_EQ(freed5[0], 3);
+    EXPECT_EQ(occ.busyCount(5), 3u);
+
+    // Extending an active reservation leaves a stale heap entry that
+    // advanceTo must skip.
+    occ.reserve({0}, 20);
+    EXPECT_EQ(occ.advanceTo(10).size(), 2u); // 1 and 2; 0 extended
+    EXPECT_EQ(occ.busyCount(10), 1u);
+    EXPECT_FALSE(occ.freeAt(0, 10));
+
+    // clear() rewinds the front and drops live and stale entries; the
+    // instance must behave like a fresh one across repeated reuse
+    // (the per-backend recompilation churn pattern).
+    occ.clear();
+    EXPECT_EQ(occ.advancedTime(), 0u);
+    EXPECT_EQ(occ.busyCount(0), 0u);
+    EXPECT_TRUE(occ.freeAt(0, 0));
+    for (int round = 0; round < 3; ++round) {
+        occ.reserve({0, 4, 8}, 7);
+        occ.advanceTo(3);
+        EXPECT_EQ(occ.busyCount(3), 3u);
+        EXPECT_EQ(occ.advanceTo(7).size(), 3u);
+        EXPECT_EQ(occ.busyCount(7), 0u);
+        occ.clear();
+    }
+
+    // Time is monotone within a run; regression raises.
+    occ.reserve({2}, 4);
+    occ.advanceTo(2);
+    EXPECT_THROW(occ.advanceTo(1), InternalError);
+}
+
+} // namespace
+} // namespace autobraid

@@ -8,6 +8,9 @@
  *   autobraid_cli [options] <spec-or-file>...
  *
  *     --policy=baseline|sp|full   scheduling policy (default full)
+ *     --backend=braiding|surgery  communication backend: braid paths
+ *                                 (default) or lattice-surgery merge
+ *                                 regions
  *     --distance=D                code distance (default 33)
  *     --p=F                       layout-optimizer trigger (default 0.3)
  *     --seed=S                    placement seed
@@ -94,7 +97,8 @@ usage(int code)
     std::fprintf(
         stderr,
         "usage: autobraid_cli [options] <spec-or-file>...\n"
-        "  --policy=baseline|sp|full  --distance=D  --p=F  --seed=S\n"
+        "  --policy=baseline|sp|full  --backend=braiding|surgery\n"
+        "  --distance=D  --p=F  --seed=S\n"
         "  --no-maslov  --defects=N  --teleport=HOLD  --compare\n"
         "  --sweep-p  --jobs=N  --timings  --json  --json-trace\n"
         "  --trace-out=FILE  --metrics-out=FILE\n"
@@ -130,14 +134,21 @@ parseArgs(int argc, char **argv)
                 std::printf("  %s\n", spec.c_str());
             std::exit(0);
         } else if (matchValue(arg, "--policy", value)) {
-            if (value == "baseline")
-                opts.compile.policy = SchedulerPolicy::Baseline;
-            else if (value == "sp")
-                opts.compile.policy = SchedulerPolicy::AutobraidSP;
-            else if (value == "full")
-                opts.compile.policy = SchedulerPolicy::AutobraidFull;
-            else
+            // parseArgs runs outside main's try block, so parse
+            // errors are reported here instead of propagating.
+            try {
+                opts.compile.policy = parsePolicyName(value);
+            } catch (const UserError &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
                 usage(2);
+            }
+        } else if (matchValue(arg, "--backend", value)) {
+            try {
+                opts.compile.backend = parseBackendName(value);
+            } catch (const UserError &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                usage(2);
+            }
         } else if (matchValue(arg, "--distance", value)) {
             opts.compile.cost.distance = std::stoi(value);
         } else if (matchValue(arg, "--p", value)) {
@@ -243,9 +254,13 @@ printHuman(const CompileReport &report, const CostModel &cost)
                 report.num_gates, report.grid_side,
                 report.grid_side);
     std::printf("  CP        %12.0f us\n", report.cpMicros(cost));
+    const char *tag = report.used_maslov ? "  [maslov]"
+                      : report.backend ==
+                              SchedulerBackend::LatticeSurgery
+                          ? "  [surgery]"
+                          : "";
     std::printf("  makespan  %12.0f us  (%.2fx CP)%s\n",
-                report.micros(cost), report.cpRatio(),
-                report.used_maslov ? "  [maslov]" : "");
+                report.micros(cost), report.cpRatio(), tag);
     std::printf("  braids=%zu swaps=%zu failures=%zu util "
                 "peak=%.0f%% avg=%.0f%% compile=%.3fs\n",
                 report.result.braids_routed,

@@ -19,6 +19,11 @@
  *     --policy-mask=M       policies to cross-check: a number (1=
  *                           baseline, 2=sp, 4=full, 7=all) or names
  *                           like "baseline,sp,full" (default all)
+ *     --backend=B           communication backend for every case:
+ *                           braiding (default) or surgery
+ *     --cross-backend-stride=N  compile under both backends and
+ *                           report the makespan pair every Nth case
+ *                           (default 16; 0 disables)
  *     --batch-stride=N      batch-determinism check every Nth case
  *                           (default 8; 0 disables)
  *     --degenerate-stride=N strip-lattice case every Nth seed
@@ -65,7 +70,9 @@ usage(int code)
         "  --seeds=N --start-seed=S --budget-seconds=F\n"
         "  --policy-mask=M   number (1=baseline 2=sp 4=full 7=all)\n"
         "                    or names: baseline,sp,full,all\n"
+        "  --backend=B       braiding (default) or surgery\n"
         "  --batch-stride=N --degenerate-stride=N\n"
+        "  --cross-backend-stride=N\n"
         "  --no-lint-oracle --no-shrink\n"
         "  --repro-out=FILE  first failure's reproducer as OpenQASM\n"
         "  --metrics-out=FILE  fuzz telemetry metrics as JSON\n"
@@ -116,12 +123,17 @@ parseArgs(int argc, char **argv)
             opts.fuzz.budget_seconds = std::stod(value);
         } else if (matchValue(argc, argv, i, "--policy-mask", value)) {
             opts.fuzz.policy_mask = fuzz::parsePolicyMask(value);
+        } else if (matchValue(argc, argv, i, "--backend", value)) {
+            opts.fuzz.backend = parseBackendName(value);
         } else if (matchValue(argc, argv, i, "--batch-stride",
                               value)) {
             opts.fuzz.batch_stride = std::stoi(value);
         } else if (matchValue(argc, argv, i, "--degenerate-stride",
                               value)) {
             opts.fuzz.degenerate_stride = std::stoi(value);
+        } else if (matchValue(argc, argv, i, "--cross-backend-stride",
+                              value)) {
+            opts.fuzz.cross_backend_stride = std::stoi(value);
         } else if (std::strcmp(arg, "--no-lint-oracle") == 0) {
             opts.fuzz.lint_oracle = false;
         } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -145,10 +157,12 @@ parseArgs(int argc, char **argv)
 int
 run(const CliOptions &opts)
 {
-    std::printf("fuzzing %d seeds from %llu (policies: %s)\n",
+    std::printf("fuzzing %d seeds from %llu (policies: %s, "
+                "backend: %s)\n",
                 opts.fuzz.seeds,
                 static_cast<unsigned long long>(opts.fuzz.start_seed),
-                fuzz::policyMaskName(opts.fuzz.policy_mask).c_str());
+                fuzz::policyMaskName(opts.fuzz.policy_mask).c_str(),
+                backendName(opts.fuzz.backend));
 
     // One telemetry sink for the whole run; installed only when the
     // caller asked for metrics so default runs stay zero-overhead.

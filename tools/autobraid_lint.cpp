@@ -126,14 +126,14 @@ parseArgs(int argc, char **argv)
         } else if (matchValue(arg, "--sarif-out", value)) {
             opts.sarif_out = value;
         } else if (matchValue(arg, "--policy", value)) {
-            if (value == "baseline")
-                opts.policy = SchedulerPolicy::Baseline;
-            else if (value == "sp")
-                opts.policy = SchedulerPolicy::AutobraidSP;
-            else if (value == "full")
-                opts.policy = SchedulerPolicy::AutobraidFull;
-            else
+            // parseArgs runs outside main's try block, so parse
+            // errors are reported here instead of propagating.
+            try {
+                opts.policy = parsePolicyName(value);
+            } catch (const UserError &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
                 usage(2);
+            }
         } else if (matchValue(arg, "--distance", value)) {
             opts.cost.distance = std::stoi(value);
         } else if (matchValue(arg, "--teleport", value)) {
