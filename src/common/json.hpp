@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal JSON reader for the inspection tooling.
+ *
+ * The repo's exporters all hand-serialize JSON (viz/json.cpp,
+ * telemetry/metrics.cpp, telemetry/recorder.cpp); this is the matching
+ * *reader*, used by tools/autobraid_inspect to load recordings and
+ * metrics documents back in. It parses strict JSON into a small value
+ * tree — no streaming, no comments, no trailing commas — which is all
+ * the self-produced documents need. Parse errors raise UserError with
+ * a line/column position.
+ */
+
+#ifndef AUTOBRAID_COMMON_JSON_HPP
+#define AUTOBRAID_COMMON_JSON_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace autobraid {
+namespace json {
+
+class Value;
+using Array = std::vector<Value>;
+/** std::map keeps key iteration deterministic for re-serialization. */
+using Object = std::map<std::string, Value>;
+
+/** One JSON value; a tree of these represents a parsed document. */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() : kind_(Kind::Null) {}
+    explicit Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit Value(double d) : kind_(Kind::Number), num_(d) {}
+    explicit Value(std::string s)
+        : kind_(Kind::String), str_(std::move(s))
+    {
+    }
+    explicit Value(Array a)
+        : kind_(Kind::Array),
+          arr_(std::make_shared<Array>(std::move(a)))
+    {
+    }
+    explicit Value(Object o)
+        : kind_(Kind::Object),
+          obj_(std::make_shared<Object>(std::move(o)))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; raise UserError on a kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Member as number/string with a fallback when absent. */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    // Shared so Values stay cheap to copy; parsed trees are read-only.
+    std::shared_ptr<Array> arr_;
+    std::shared_ptr<Object> obj_;
+};
+
+/** Parse @p text as one JSON document; UserError on malformed input. */
+Value parse(const std::string &text);
+
+/** Read and parse @p path; UserError on IO or parse failure. */
+Value parseFile(const std::string &path);
+
+} // namespace json
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMMON_JSON_HPP

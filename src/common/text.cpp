@@ -148,4 +148,22 @@ writeTextFile(const std::string &path, const std::string &content)
         fatal("short write to '%s'", path.c_str());
 }
 
+std::string
+readTextFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '%s' for reading", path.c_str());
+    std::string content;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, got);
+    const bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed)
+        fatal("read error on '%s'", path.c_str());
+    return content;
+}
+
 } // namespace autobraid

@@ -51,6 +51,12 @@ std::string jsonEscape(const std::string &s);
  */
 void writeTextFile(const std::string &path, const std::string &content);
 
+/**
+ * Read the entire file at @p path into a string. Raises UserError
+ * when the file cannot be opened or read.
+ */
+std::string readTextFile(const std::string &path);
+
 } // namespace autobraid
 
 #endif // AUTOBRAID_COMMON_TEXT_HPP

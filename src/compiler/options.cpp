@@ -17,6 +17,7 @@ CompileOptions::schedulerConfig() const
     cfg.allow_maslov = allow_maslov;
     cfg.seed = seed;
     cfg.record_trace = record_trace;
+    cfg.record_lifecycle = record_lifecycle;
     cfg.dead_vertices = dead_vertices;
     cfg.baseline_order = baseline_order;
     cfg.channel_hold_cycles = channel_hold_cycles;

@@ -40,6 +40,14 @@ struct CompileOptions
     bool record_trace = false;   ///< keep a full TraceEntry log
 
     /**
+     * Record the scheduler's flight recording (per-gate lifecycle,
+     * stall attribution, congestion heatmap) into
+     * CompileReport::result.recording. Off by default; inspect it
+     * with tools/autobraid_inspect (docs/observability.md).
+     */
+    bool record_lifecycle = false;
+
+    /**
      * AutobraidFull normally also evaluates the never-trigger (p = 0)
      * schedule and keeps the better one, mirroring the paper's p-sweep.
      * The Fig. 18 sensitivity bench disables this to expose the raw

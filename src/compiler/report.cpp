@@ -49,6 +49,24 @@ CompileReport::metricsSummary() const
     out += strformat("used_maslov=%d valid=%d trace=%zu\n",
                      used_maslov ? 1 : 0, result.valid ? 1 : 0,
                      result.trace.size());
+    // Only present when the flight recorder ran: the lines are pure
+    // simulated-time integers, so they keep the summary byte-stable
+    // across thread counts and the telemetry on/off contract intact.
+    if (result.recording) {
+        const telemetry::FlightRecording &rec = *result.recording;
+        out += strformat(
+            "stall.dependence=%llu stall.congestion=%llu "
+            "stall.region_conflict=%llu stall.defect=%llu\n",
+            static_cast<unsigned long long>(rec.stall_totals[0]),
+            static_cast<unsigned long long>(rec.stall_totals[1]),
+            static_cast<unsigned long long>(rec.stall_totals[2]),
+            static_cast<unsigned long long>(rec.stall_totals[3]));
+        out += strformat(
+            "stall_total=%llu heatmap_sum=%llu blocked_events=%zu\n",
+            static_cast<unsigned long long>(rec.stallTotal()),
+            static_cast<unsigned long long>(rec.heatmapSum()),
+            rec.blocked.size());
+    }
     for (const auto &[name, value] : counters)
         out += strformat("counter.%s=%ld\n", name.c_str(), value);
     for (const std::string &d : diagnostics)

@@ -13,6 +13,7 @@
 #define AUTOBRAID_SCHED_METRICS_HPP
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "lattice/cost_model.hpp"
 #include "route/path.hpp"
 #include "sched/backend.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace autobraid {
 
@@ -65,6 +67,13 @@ struct ScheduleResult
 
     /** Full operation trace (empty unless SchedulerConfig::record_trace). */
     std::vector<TraceEntry> trace;
+
+    /**
+     * Flight recording (null unless SchedulerConfig::record_lifecycle).
+     * Shared so result replacement (best-of-p0, Maslov fallback)
+     * carries the matching recording with it.
+     */
+    std::shared_ptr<telemetry::FlightRecording> recording;
 
     /** Makespan in microseconds under @p cost. */
     double micros(const CostModel &cost) const

@@ -101,6 +101,14 @@ struct SchedulerConfig
     bool record_trace = false;
 
     /**
+     * Record per-gate lifecycle events, stall attribution, and the
+     * per-vertex congestion heatmap into ScheduleResult::recording
+     * (telemetry/recorder.hpp). Off by default: the dispatch loop's
+     * recorder hooks reduce to a null check each.
+     */
+    bool record_lifecycle = false;
+
+    /**
      * Permanently unusable routing vertices (lattice defects; see
      * lattice/defects.hpp). When non-empty, the baseline policy falls
      * back to all-corner endpoints so a dead NW corner cannot strand a

@@ -10,6 +10,7 @@
 #include "sched/layout_optimizer.hpp"
 #include "sched/maslov.hpp"
 #include "sched/resource_model.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace autobraid {
@@ -58,6 +59,24 @@ class Engine
             std::count(dead_.begin(), dead_.end(), uint8_t{0}));
         model_ = makeResourceModel(grid, config, maslov_mode);
         result_.backend = backend_;
+        if (config.record_lifecycle) {
+            recorder_ = std::make_unique<telemetry::FlightRecorder>(
+                circuit.size(),
+                static_cast<size_t>(grid.numVertices()));
+            for (GateIdx g = 0; g < circuit.size(); ++g) {
+                const Gate &gate = circuit.gate(g);
+                telemetry::GateRecord &rec = recorder_->gate(g);
+                rec.kind = gateName(gate.kind);
+                rec.q0 = gate.q0;
+                rec.q1 = gate.q1;
+            }
+            telemetry::FlightRecording &meta = recorder_->meta();
+            meta.circuit = circuit.name();
+            meta.policy = policyCliName(config.policy);
+            meta.backend = backendCliName(backend_);
+            meta.grid_rows = grid.vertexRows();
+            meta.grid_cols = grid.vertexCols();
+        }
     }
 
     ScheduleResult
@@ -101,6 +120,27 @@ class Engine
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - wall_start)
                 .count();
+        if (recorder_) {
+            result_.recording =
+                std::make_shared<telemetry::FlightRecording>(
+                    recorder_->finish(makespan_));
+            const telemetry::FlightRecording &rec =
+                *result_.recording;
+            AUTOBRAID_GAUGE("sched.makespan_cycles",
+                            static_cast<double>(makespan_));
+            AUTOBRAID_COUNT(
+                "sched.stall_cycles.dependence",
+                static_cast<long long>(rec.stall_totals[0]));
+            AUTOBRAID_COUNT(
+                "sched.stall_cycles.congestion",
+                static_cast<long long>(rec.stall_totals[1]));
+            AUTOBRAID_COUNT(
+                "sched.stall_cycles.region_conflict",
+                static_cast<long long>(rec.stall_totals[2]));
+            AUTOBRAID_COUNT(
+                "sched.stall_cycles.defect",
+                static_cast<long long>(rec.stall_totals[3]));
+        }
         return result_;
     }
 
@@ -117,6 +157,18 @@ class Engine
     EventQueue events_;
     std::vector<Cycles> busy_until_;
     std::unique_ptr<ResourceModel> model_;
+
+    /** Flight recorder (null unless SchedulerConfig::record_lifecycle). */
+    std::unique_ptr<telemetry::FlightRecorder> recorder_;
+
+    /**
+     * Stall cause attributed to this instant's routing failures,
+     * refreshed by the braid-dispatch stages (valid only while
+     * recording and only for the current instant).
+     */
+    telemetry::StallCause route_fail_cause_ =
+        telemetry::StallCause::Congestion;
+
     LayoutOptimizer optimizer_;
     SwapNetwork network_;
     const bool maslov_mode_;
@@ -179,6 +231,8 @@ class Engine
     void
     retireGate(GateIdx g, Cycles t)
     {
+        if (recorder_)
+            recorder_->onRetired(g, t);
         front_.retire(g);
         ++result_.gates_scheduled;
         makespan_ = std::max(makespan_, t);
@@ -241,6 +295,13 @@ class Engine
                 if (!dead_[static_cast<size_t>(v)])
                     blocked_mask_[static_cast<size_t>(v)] = 0;
         }
+        if (recorder_) {
+            // New ready gates only ever surface at dispatch instants
+            // (completions run just before dispatch), so stamping the
+            // front here gives every gate an exact ready cycle.
+            for (GateIdx g : front_.ready())
+                recorder_->onReady(g, t);
+        }
         // A refreshed level may consist entirely of zero-latency gates;
         // keep refreshing until the level has pending work.
         do {
@@ -266,6 +327,9 @@ class Engine
                 dispatchBraids(t, braid_gates_);
         }
 
+        if (recorder_)
+            recordBlocked(t);
+
         // Sample at every instant — including ones where braids are
         // still in flight but nothing new dispatches — so the reported
         // peak cannot miss a quiet instant.
@@ -286,6 +350,55 @@ class Engine
                      braids_in_flight_ + swaps_in_flight_);
     }
 
+    /**
+     * Attribute a stall to every gate still ready at the end of the
+     * instant. Each waiting gate gets exactly one blocked event per
+     * dispatch instant, so its stall segments tile [ready, dispatched]
+     * with no gaps — the recorder's exact-sum invariant.
+     */
+    void
+    recordBlocked(Cycles t)
+    {
+        for (GateIdx g : front_.ready()) {
+            const Gate &gate = circuit_->gate(g);
+            telemetry::StallCause cause =
+                telemetry::StallCause::Dependence;
+            if (admitted(g) && operandsFree(gate, t) &&
+                needsBraid(gate.kind)) {
+                // A braid candidate that failed this instant's
+                // routing stage. In Maslov mode a non-adjacent pair
+                // is waiting on the swap network (congestion), not on
+                // a failed route attempt.
+                if (maslov_mode_ &&
+                    placement_.cellOf(gate.q0)
+                            .dist(placement_.cellOf(gate.q1)) != 1)
+                    cause = telemetry::StallCause::Congestion;
+                else
+                    cause = route_fail_cause_;
+            }
+            recorder_->onBlocked(g, t, cause);
+        }
+    }
+
+    /**
+     * Classify this instant's routing failures, from the fabric state
+     * *before* the winners reserved their regions: in-flight
+     * reservations mean congestion; an idle lattice with defects
+     * configured means the defects broke routability; an idle,
+     * defect-free lattice means the gate lost the same-instant
+     * vertex-disjointness competition.
+     */
+    telemetry::StallCause
+    routeFailCause(size_t busy_before) const
+    {
+        if (busy_before > 0)
+            return telemetry::StallCause::Congestion;
+        if (routable_vertices_ <
+            static_cast<size_t>(grid_->numVertices()))
+            return telemetry::StallCause::Defect;
+        return telemetry::StallCause::RegionConflict;
+    }
+
     /** Issue tile-local gates; zero-latency ones retire immediately. */
     void
     dispatchLocalGates(Cycles t)
@@ -301,6 +414,8 @@ class Engine
                     !admitted(g))
                     continue;
                 front_.issue(g);
+                if (recorder_)
+                    recorder_->onDispatched(g, t);
                 const Cycles dur = model_->gateDuration(gate);
                 if (config_->record_trace)
                     result_.trace.push_back(
@@ -325,6 +440,9 @@ class Engine
     reserveChannel(Cycles t, const Path &path, Cycles until)
     {
         occ_.reserve(path.vertices, until);
+        if (recorder_)
+            recorder_->onRegionHeld(path.vertices.data(),
+                                    path.vertices.size(), t, until);
         if (until <= t)
             return;
         for (VertexId v : path.vertices)
@@ -337,6 +455,8 @@ class Engine
     {
         const Gate &gate = circuit_->gate(g);
         front_.issue(g);
+        if (recorder_)
+            recorder_->onDispatched(g, t);
         const Cycles dur = model_->gateDuration(gate);
         const Cycles hold = model_->regionHold(dur);
         reserveChannel(t, path, t + hold);
@@ -391,6 +511,8 @@ class Engine
     dispatchBraids(Cycles t, const std::vector<GateIdx> &gates)
     {
         const auto tasks = makeTasks(gates);
+        if (recorder_)
+            route_fail_cause_ = routeFailCause(occ_.busyCount(t));
         auto outcome =
             model_->acquire(tasks, BlockedMask(blocked_mask_));
         for (const auto &[idx, path] : outcome.routed)
@@ -431,6 +553,8 @@ class Engine
     void
     dispatchBraidsMaslov(Cycles t, const std::vector<GateIdx> &gates)
     {
+        if (recorder_)
+            route_fail_cause_ = routeFailCause(occ_.busyCount(t));
         // Execute ready CX gates whose tiles are grid neighbours.
         std::vector<GateIdx> adjacent;
         for (GateIdx g : gates) {

@@ -84,6 +84,24 @@ Histogram::merge(const Histogram &other)
     }
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q <= 0)
+        return min;
+    // The smallest rank whose cumulative count reaches q * count.
+    const double want = q * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        if (static_cast<double>(cumulative) >= want)
+            return i < bounds.size() ? bounds[i] : max;
+    }
+    return max;
+}
+
 const std::vector<double> &
 powerOfTwoBounds()
 {
@@ -222,6 +240,14 @@ MetricsRegistry::toText() const
                          static_cast<unsigned long long>(h.count),
                          num(h.sum).c_str(), num(h.min).c_str(),
                          num(h.max).c_str(), num(h.mean()).c_str());
+        out += strformat(
+            "        p50=%s p90=%s p99=%s underflow=%llu "
+            "overflow=%llu\n",
+            num(h.quantile(0.50)).c_str(),
+            num(h.quantile(0.90)).c_str(),
+            num(h.quantile(0.99)).c_str(),
+            static_cast<unsigned long long>(h.underflow()),
+            static_cast<unsigned long long>(h.overflow()));
         std::string line = "        buckets:";
         for (size_t i = 0; i < h.counts.size(); ++i) {
             const std::string label =
@@ -267,11 +293,16 @@ MetricsRegistry::toJson() const
         first = false;
         out += strformat(
             "\"%s\":{\"count\":%llu,\"sum\":%s,\"min\":%s,"
-            "\"max\":%s,\"bounds\":[",
+            "\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,"
+            "\"underflow\":%llu,\"overflow\":%llu,\"bounds\":[",
             escapeName(name).c_str(),
             static_cast<unsigned long long>(h.count),
             num(h.sum).c_str(), num(h.min).c_str(),
-            num(h.max).c_str());
+            num(h.max).c_str(), num(h.quantile(0.50)).c_str(),
+            num(h.quantile(0.90)).c_str(),
+            num(h.quantile(0.99)).c_str(),
+            static_cast<unsigned long long>(h.underflow()),
+            static_cast<unsigned long long>(h.overflow()));
         for (size_t i = 0; i < h.bounds.size(); ++i) {
             if (i)
                 out += ",";

@@ -48,6 +48,20 @@ struct Histogram
     void merge(const Histogram &other);
 
     double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+
+    /** Observations in the first bucket (values <= bounds[0]). */
+    uint64_t underflow() const { return counts.empty() ? 0 : counts.front(); }
+
+    /** Observations above the last bound. */
+    uint64_t overflow() const { return counts.empty() ? 0 : counts.back(); }
+
+    /**
+     * Bucket-resolution quantile estimate for @p q in [0, 1]: the
+     * upper bound of the bucket holding the ceil(q * count)-th
+     * observation (the recorded max for the overflow bucket). Exact to
+     * bucket granularity and deterministic — no interpolation.
+     */
+    double quantile(double q) const;
 };
 
 /** Default work-item bounds: powers of two 1, 2, 4, ..., 65536. */

@@ -1,0 +1,227 @@
+#include "telemetry/recorder.hpp"
+
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace telemetry {
+
+namespace {
+
+/** Sentinel for "no pending cause" in FlightRecorder::pending_. */
+constexpr uint8_t kNoPending = static_cast<uint8_t>(kNumStallCauses);
+
+} // namespace
+
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+    case StallCause::Dependence:
+        return "dependence";
+    case StallCause::Congestion:
+        return "congestion";
+    case StallCause::RegionConflict:
+        return "region_conflict";
+    case StallCause::Defect:
+        return "defect";
+    }
+    return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t num_gates, size_t num_vertices)
+    : wait_since_(num_gates, kNoCycle),
+      pending_(num_gates, kNoPending)
+{
+    recording_.gates.resize(num_gates);
+    recording_.vertex_busy_cycles.assign(num_vertices, 0);
+}
+
+void
+FlightRecorder::onReady(uint64_t g, uint64_t t)
+{
+    GateRecord &rec = recording_.gates[g];
+    if (rec.ready != kNoCycle)
+        return;
+    rec.ready = t;
+    wait_since_[g] = t;
+}
+
+void
+FlightRecorder::closeSegment(uint64_t g, uint64_t t)
+{
+    const uint8_t cause = pending_[g];
+    if (cause == kNoPending)
+        return;
+    const uint64_t since = wait_since_[g];
+    if (t > since) {
+        recording_.gates[g].stall[cause] += t - since;
+        recording_.stall_totals[cause] += t - since;
+    }
+}
+
+void
+FlightRecorder::onBlocked(uint64_t g, uint64_t t, StallCause cause)
+{
+    onReady(g, t); // defensive: blocked implies ready
+    // A gap with no pending cause means the gate waited without being
+    // examined (it became ready mid-flight); nothing but upstream
+    // completions defined that window, so charge it to dependence.
+    if (pending_[g] == kNoPending && t > wait_since_[g])
+        pending_[g] = static_cast<uint8_t>(StallCause::Dependence);
+    closeSegment(g, t);
+    wait_since_[g] = t;
+    pending_[g] = static_cast<uint8_t>(cause);
+    GateRecord &rec = recording_.gates[g];
+    rec.blocked_attempts += 1;
+    recording_.blocked.push_back(BlockedEvent{g, t, cause});
+}
+
+void
+FlightRecorder::onDispatched(uint64_t g, uint64_t t)
+{
+    onReady(g, t); // defensive: same-instant ready->dispatch cascades
+    GateRecord &rec = recording_.gates[g];
+    if (rec.dispatched != kNoCycle)
+        return;
+    // Any wait with no intervening blocked examination (the gate
+    // became ready mid-flight and dispatched at the next instant it
+    // was looked at) is a dependence stall: nothing but upstream
+    // completions defined the gap.
+    if (pending_[g] == kNoPending && t > wait_since_[g])
+        pending_[g] = static_cast<uint8_t>(StallCause::Dependence);
+    closeSegment(g, t);
+    pending_[g] = kNoPending;
+    rec.dispatched = t;
+}
+
+void
+FlightRecorder::onRetired(uint64_t g, uint64_t t)
+{
+    GateRecord &rec = recording_.gates[g];
+    // Zero-duration gates retire in the same call chain that
+    // dispatched them; make sure the earlier stages are closed even
+    // if the scheduler skipped the explicit dispatch hook.
+    if (rec.dispatched == kNoCycle)
+        onDispatched(g, t);
+    if (rec.retired == kNoCycle)
+        rec.retired = t;
+}
+
+void
+FlightRecorder::onRegionHeld(const int32_t *vertices, size_t count,
+                             uint64_t from, uint64_t until)
+{
+    if (until <= from)
+        return;
+    const uint64_t held = until - from;
+    for (size_t i = 0; i < count; ++i) {
+        const int32_t v = vertices[i];
+        if (v >= 0 &&
+            static_cast<size_t>(v) <
+                recording_.vertex_busy_cycles.size())
+            recording_.vertex_busy_cycles[static_cast<size_t>(v)] +=
+                held;
+    }
+}
+
+FlightRecording
+FlightRecorder::finish(uint64_t makespan)
+{
+    recording_.makespan = makespan;
+    return std::move(recording_);
+}
+
+std::string
+FlightRecording::toJson() const
+{
+    std::string out;
+    out.reserve(256 + gates.size() * 160 + blocked.size() * 48 +
+                vertex_busy_cycles.size() * 8);
+    out += "{\n";
+    out += "  \"format\": \"autobraid-recording\",\n";
+    out += "  \"version\": 1,\n";
+    out += strformat("  \"circuit\": \"%s\",\n",
+                     jsonEscape(circuit).c_str());
+    out += strformat("  \"policy\": \"%s\",\n",
+                     jsonEscape(policy).c_str());
+    out += strformat("  \"backend\": \"%s\",\n",
+                     jsonEscape(backend).c_str());
+    out += strformat("  \"grid_rows\": %d,\n", grid_rows);
+    out += strformat("  \"grid_cols\": %d,\n", grid_cols);
+    out += strformat("  \"makespan\": %llu,\n",
+                     static_cast<unsigned long long>(makespan));
+
+    out += "  \"stall_totals\": {";
+    for (size_t c = 0; c < kNumStallCauses; ++c) {
+        if (c)
+            out += ", ";
+        out += strformat(
+            "\"%s\": %llu",
+            stallCauseName(static_cast<StallCause>(c)),
+            static_cast<unsigned long long>(stall_totals[c]));
+    }
+    out += "},\n";
+
+    out += "  \"gates\": [\n";
+    for (size_t g = 0; g < gates.size(); ++g) {
+        const GateRecord &rec = gates[g];
+        out += strformat(
+            "    {\"gate\": %zu, \"kind\": \"%s\", \"q0\": %d, "
+            "\"q1\": %d",
+            g, jsonEscape(rec.kind).c_str(), rec.q0, rec.q1);
+        if (rec.ready != kNoCycle)
+            out += strformat(
+                ", \"ready\": %llu",
+                static_cast<unsigned long long>(rec.ready));
+        if (rec.dispatched != kNoCycle)
+            out += strformat(
+                ", \"dispatched\": %llu",
+                static_cast<unsigned long long>(rec.dispatched));
+        if (rec.retired != kNoCycle)
+            out += strformat(
+                ", \"retired\": %llu",
+                static_cast<unsigned long long>(rec.retired));
+        out += strformat(", \"blocked_attempts\": %u",
+                         rec.blocked_attempts);
+        out += ", \"stall\": {";
+        for (size_t c = 0; c < kNumStallCauses; ++c) {
+            if (c)
+                out += ", ";
+            out += strformat(
+                "\"%s\": %llu",
+                stallCauseName(static_cast<StallCause>(c)),
+                static_cast<unsigned long long>(rec.stall[c]));
+        }
+        out += "}}";
+        out += (g + 1 < gates.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+
+    out += "  \"blocked_events\": [\n";
+    for (size_t i = 0; i < blocked.size(); ++i) {
+        const BlockedEvent &ev = blocked[i];
+        out += strformat(
+            "    {\"gate\": %llu, \"cycle\": %llu, \"cause\": "
+            "\"%s\"}",
+            static_cast<unsigned long long>(ev.gate),
+            static_cast<unsigned long long>(ev.cycle),
+            stallCauseName(ev.cause));
+        out += (i + 1 < blocked.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+
+    out += "  \"vertex_busy_cycles\": [";
+    for (size_t v = 0; v < vertex_busy_cycles.size(); ++v) {
+        if (v)
+            out += ", ";
+        out += strformat(
+            "%llu",
+            static_cast<unsigned long long>(vertex_busy_cycles[v]));
+    }
+    out += "]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace telemetry
+} // namespace autobraid

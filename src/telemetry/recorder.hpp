@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Schedule-time flight recorder: per-gate lifecycle events with exact
+ * stall attribution, plus a per-vertex congestion heatmap.
+ *
+ * The scheduler core (sched/scheduler.cpp) drives the recorder through
+ * the backend-agnostic dispatch loop, so braiding and lattice-surgery
+ * schedules attribute stalls identically:
+ *
+ *   ready -> [blocked(cause)]* -> dispatched -> retired
+ *
+ * Every instant a ready gate fails to dispatch, the time since the last
+ * examination is charged to the *previous* pending cause and a new
+ * pending cause is recorded; dispatching closes the final segment. By
+ * construction the per-gate stall cycles sum to exactly
+ * `dispatched - ready` — the invariant the fuzz oracle enforces.
+ *
+ * The stall-cause taxonomy (docs/observability.md):
+ *  - Dependence:     an operand qubit is still executing an earlier
+ *                    gate (or the baseline's level gate holds it back);
+ *  - Congestion:     routing failed while in-flight regions occupied
+ *                    lattice vertices (or, in Maslov mode, the swap
+ *                    network has not yet brought the operands together);
+ *  - RegionConflict: routing failed on an idle lattice — the gate lost
+ *                    the same-instant vertex-disjointness competition;
+ *  - Defect:         routing failed on an idle, uncontended lattice
+ *                    that has permanently dead vertices configured.
+ *
+ * The recorder is opt-in (SchedulerConfig::record_lifecycle); when it
+ * is off the scheduler's hooks are a null-pointer check each, keeping
+ * the routing hot path at its allocation-free baseline. Recordings
+ * contain only simulated-time values (cycles, indices), so they are
+ * byte-identical across thread counts and repeat runs.
+ *
+ * Header-only types use plain integers (not circuit/lattice typedefs)
+ * so ab_telemetry keeps depending only on ab_common.
+ */
+
+#ifndef AUTOBRAID_TELEMETRY_RECORDER_HPP
+#define AUTOBRAID_TELEMETRY_RECORDER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace autobraid {
+namespace telemetry {
+
+/** Why a ready gate failed to dispatch at a scheduling instant. */
+enum class StallCause : uint8_t
+{
+    Dependence,
+    Congestion,
+    RegionConflict,
+    Defect,
+};
+
+/** Number of StallCause values (array sizing). */
+constexpr size_t kNumStallCauses = 4;
+
+/** Stable lowercase name of @p cause ("region_conflict", ...). */
+const char *stallCauseName(StallCause cause);
+
+/** Sentinel for lifecycle timestamps that were never recorded. */
+constexpr uint64_t kNoCycle = ~uint64_t{0};
+
+/** One gate's recorded lifecycle. */
+struct GateRecord
+{
+    uint64_t ready = kNoCycle;      ///< entered the ready front
+    uint64_t dispatched = kNoCycle; ///< resources acquired, issued
+    uint64_t retired = kNoCycle;    ///< finished executing
+
+    /** Stall cycles charged to each cause (index = StallCause). */
+    uint64_t stall[kNumStallCauses] = {0, 0, 0, 0};
+
+    /** Blocked examinations (dispatch instants the gate waited at). */
+    uint32_t blocked_attempts = 0;
+
+    // Static gate facts, prefilled by the scheduler so a recording is
+    // self-contained for downstream tooling (autobraid_inspect).
+    int32_t q0 = -1;
+    int32_t q1 = -1;
+    std::string kind; ///< QASM-style mnemonic ("cx", "h", ...)
+
+    /** Total stall cycles across all causes. */
+    uint64_t stallTotal() const
+    {
+        uint64_t total = 0;
+        for (uint64_t s : stall)
+            total += s;
+        return total;
+    }
+
+    /** True when ready/dispatched/retired are all recorded. */
+    bool complete() const
+    {
+        return ready != kNoCycle && dispatched != kNoCycle &&
+               retired != kNoCycle;
+    }
+};
+
+/** One blocked route-attempt event (chronological log). */
+struct BlockedEvent
+{
+    uint64_t gate = 0;
+    uint64_t cycle = 0;
+    StallCause cause = StallCause::Dependence;
+};
+
+/** Immutable result of one recorded scheduling run. */
+struct FlightRecording
+{
+    // Metadata, filled by the scheduler.
+    std::string circuit;
+    std::string policy;
+    std::string backend;
+    int grid_rows = 0; ///< lattice vertex rows (heatmap height)
+    int grid_cols = 0; ///< lattice vertex cols (heatmap width)
+    uint64_t makespan = 0;
+
+    /** One record per circuit gate, indexed by gate. */
+    std::vector<GateRecord> gates;
+
+    /** Chronological log of blocked examinations. */
+    std::vector<BlockedEvent> blocked;
+
+    /**
+     * Per-vertex busy cycles: every acquired region (braid path, SWAP
+     * path, surgery merge region) charges its hold window to each of
+     * its vertices. The sum over all vertices equals the scheduler's
+     * busy-cycle total (the utilization numerator) exactly.
+     */
+    std::vector<uint64_t> vertex_busy_cycles;
+
+    /** Total stall cycles per cause, over all gates. */
+    uint64_t stall_totals[kNumStallCauses] = {0, 0, 0, 0};
+
+    /** Sum of stall_totals. */
+    uint64_t stallTotal() const
+    {
+        uint64_t total = 0;
+        for (uint64_t s : stall_totals)
+            total += s;
+        return total;
+    }
+
+    /** Sum of vertex_busy_cycles. */
+    uint64_t heatmapSum() const
+    {
+        uint64_t total = 0;
+        for (uint64_t v : vertex_busy_cycles)
+            total += v;
+        return total;
+    }
+
+    /**
+     * Serialize as the versioned recording JSON document consumed by
+     * tools/autobraid_inspect (docs/observability.md).
+     */
+    std::string toJson() const;
+};
+
+/**
+ * Live recorder for one scheduling run. The scheduler calls the on*
+ * hooks from its dispatch loop; finish() seals the recording.
+ *
+ * onReady is idempotent (first examination wins) and is also invoked
+ * defensively by onDispatched, so a gate that becomes ready and
+ * dispatches within one instant (zero-latency cascades) still gets a
+ * complete lifecycle.
+ */
+class FlightRecorder
+{
+  public:
+    FlightRecorder(size_t num_gates, size_t num_vertices);
+
+    /** Gate @p g entered the ready front at cycle @p t (idempotent). */
+    void onReady(uint64_t g, uint64_t t);
+
+    /**
+     * Gate @p g was examined at cycle @p t and could not dispatch for
+     * @p cause. Charges the elapsed wait to the previously pending
+     * cause and makes @p cause pending.
+     */
+    void onBlocked(uint64_t g, uint64_t t, StallCause cause);
+
+    /** Gate @p g acquired its resources and issued at cycle @p t. */
+    void onDispatched(uint64_t g, uint64_t t);
+
+    /** Gate @p g finished at cycle @p t. */
+    void onRetired(uint64_t g, uint64_t t);
+
+    /**
+     * An acquired region held the @p count vertices at @p vertices
+     * from @p from until @p until (no-op when the window is empty).
+     * Aggregates the per-instant occupancy into the per-vertex heatmap
+     * incrementally, so recording memory stays O(vertices + gates),
+     * not O(instants x vertices).
+     */
+    void onRegionHeld(const int32_t *vertices, size_t count,
+                      uint64_t from, uint64_t until);
+
+    /** Mutable static gate facts (prefill q0/q1/kind). */
+    GateRecord &gate(uint64_t g) { return recording_.gates[g]; }
+
+    /** Metadata to stamp into the recording. */
+    FlightRecording &meta() { return recording_; }
+
+    /** Seal and return the recording (@p makespan stamps the run). */
+    FlightRecording finish(uint64_t makespan);
+
+  private:
+    FlightRecording recording_;
+    /** Last cycle each gate was examined without dispatching. */
+    std::vector<uint64_t> wait_since_;
+    /** Pending cause per gate; kNumStallCauses = none pending. */
+    std::vector<uint8_t> pending_;
+
+    void closeSegment(uint64_t g, uint64_t t);
+};
+
+} // namespace telemetry
+} // namespace autobraid
+
+#endif // AUTOBRAID_TELEMETRY_RECORDER_HPP

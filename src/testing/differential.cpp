@@ -93,6 +93,10 @@ DifferentialResult::toString() const
 
 namespace {
 
+void checkRecorderLifecycle(const FuzzCase &c, const char *name,
+                            const ScheduleResult &r,
+                            std::vector<std::string> &failures);
+
 /**
  * Validate one compiled policy run and append invariant breaches.
  * @p grid is used for path-geometry checks only when the placement
@@ -156,6 +160,7 @@ checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
     // bound must still be sound for swap-free, non-Maslov *braiding*
     // schedules (the bound is computed from the braid hold window, so
     // it makes no soundness claim about lattice surgery).
+    checkRecorderLifecycle(c, name, r, failures);
     if (run.report.lint && r.swaps_inserted == 0 &&
         !run.report.used_maslov &&
         r.backend == SchedulerBackend::Braiding) {
@@ -170,6 +175,70 @@ checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
                 static_cast<unsigned long long>(r.makespan)));
         }
     }
+}
+
+/**
+ * Flight-recorder oracle: with record_lifecycle on, every retired gate
+ * must carry a complete, ordered lifecycle whose attributed stall
+ * cycles sum to exactly `dispatched - ready`, and the congestion
+ * heatmap must account for every region-hold the trace reserved
+ * (Σ path.length × hold). Runs on every fuzz case under whichever
+ * backend the case selected, so both backends prove they attribute
+ * stalls identically through the ResourceModel seam.
+ */
+void
+checkRecorderLifecycle(const FuzzCase &c, const char *name,
+                       const ScheduleResult &r,
+                       std::vector<std::string> &failures)
+{
+    auto fail = [&failures, &c, name](std::string what) {
+        AUTOBRAID_COUNT("fuzz.recorder_violations");
+        failures.push_back(strformat("[%s] recorder: %s — %s", name,
+                                     what.c_str(),
+                                     c.summary().c_str()));
+    };
+    if (!r.recording) {
+        fail("no recording despite record_lifecycle");
+        return;
+    }
+    const telemetry::FlightRecording &rec = *r.recording;
+    if (rec.gates.size() != c.circuit.size()) {
+        fail(strformat("recording covers %zu of %zu gates",
+                       rec.gates.size(), c.circuit.size()));
+        return;
+    }
+    for (size_t g = 0; g < rec.gates.size(); ++g) {
+        const telemetry::GateRecord &gr = rec.gates[g];
+        if (!gr.complete()) {
+            fail(strformat("gate %zu lifecycle incomplete", g));
+            continue;
+        }
+        if (gr.ready > gr.dispatched || gr.dispatched > gr.retired) {
+            fail(strformat(
+                "gate %zu lifecycle out of order: %llu/%llu/%llu", g,
+                static_cast<unsigned long long>(gr.ready),
+                static_cast<unsigned long long>(gr.dispatched),
+                static_cast<unsigned long long>(gr.retired)));
+            continue;
+        }
+        const uint64_t waited = gr.dispatched - gr.ready;
+        if (gr.stallTotal() != waited)
+            fail(strformat(
+                "gate %zu stall cycles %llu != dispatch-ready %llu",
+                g,
+                static_cast<unsigned long long>(gr.stallTotal()),
+                static_cast<unsigned long long>(waited)));
+    }
+    // Heatmap accounting against the trace (recorded alongside).
+    uint64_t expected = 0;
+    for (const TraceEntry &e : r.trace)
+        expected += static_cast<uint64_t>(e.path.length()) *
+                    (e.channel_release - e.start);
+    if (rec.heatmapSum() != expected)
+        fail(strformat(
+            "heatmap sum %llu != trace busy cycles %llu",
+            static_cast<unsigned long long>(rec.heatmapSum()),
+            static_cast<unsigned long long>(expected)));
 }
 
 /**
@@ -223,6 +292,7 @@ runDifferentialCase(const FuzzCase &c, unsigned mask,
         CompileOptions opt = c.options;
         opt.policy = p.policy;
         opt.record_trace = true;
+        opt.record_lifecycle = true;
         if (lint_oracle)
             opt.lint_level = lint::LintLevel::All;
         try {
@@ -269,6 +339,7 @@ runCrossBackendCase(const FuzzCase &c)
         opt.policy = SchedulerPolicy::AutobraidFull;
         opt.backend = backend;
         opt.record_trace = true;
+        opt.record_lifecycle = true;
         opt.lint_level = lint::LintLevel::Off;
         auto fail = [&out, &c, backend](std::string what) {
             out.failures.push_back(
@@ -304,6 +375,8 @@ runCrossBackendCase(const FuzzCase &c)
                 static_cast<unsigned long long>(r.makespan),
                 static_cast<unsigned long long>(
                     report.critical_path)));
+        checkRecorderLifecycle(c, backendCliName(backend), r,
+                               out.failures);
         if (backend == SchedulerBackend::Braiding)
             out.makespan_braiding = r.makespan;
         else
@@ -403,6 +476,7 @@ runDegenerateGridCase(uint64_t seed, unsigned mask,
         config.backend = backend;
         config.seed = seed;
         config.record_trace = true;
+        config.record_lifecycle = true;
         PolicyOutcome run;
         run.policy = p.policy;
         try {
@@ -439,6 +513,7 @@ runDegenerateGridCase(uint64_t seed, unsigned mask,
                         static_cast<unsigned long long>(seed),
                         v.toString().c_str()));
                 }
+                checkRecorderLifecycle(shim, name, r, out.failures);
             }
         }
         out.runs.push_back(std::move(run));

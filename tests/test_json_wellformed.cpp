@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "compiler/batch.hpp"
 #include "gen/registry.hpp"
 #include "sched/pipeline.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -255,6 +256,59 @@ TEST(JsonWellformed, ChromeTraceWithoutTelemetryStillValid)
         telemetry::chromeTraceJson(report, opt.cost);
     EXPECT_TRUE(JsonChecker(json).valid());
     EXPECT_NE(json.find("\"cat\":\"pass\""), std::string::npos);
+}
+
+TEST(JsonWellformed, ChromeTraceSurgeryBackendValid)
+{
+    // The exporter must stay well-formed when the schedule comes from
+    // the lattice-surgery backend (merge regions, no braid paths).
+    const Circuit circuit = gen::make("im:9:2");
+    CompileOptions opt;
+    opt.backend = SchedulerBackend::LatticeSurgery;
+    opt.record_trace = true;
+    opt.telemetry.enabled = true;
+    const auto report = compilePipeline(circuit, opt);
+    const std::string json =
+        telemetry::chromeTraceJson(report, opt.cost);
+    EXPECT_TRUE(JsonChecker(json).valid());
+    EXPECT_NE(json.find("schedule (simulated)"), std::string::npos);
+}
+
+TEST(JsonWellformed, ChromeTraceValidUnderBatchThreads)
+{
+    // Spans recorded on 8 worker threads must still serialize into a
+    // syntactically valid trace for every job.
+    BatchOptions bopt;
+    bopt.threads = 8;
+    BatchCompiler batch(bopt);
+    for (const char *spec : {"qft:9", "ghz:8", "im:9:2", "qft:10"}) {
+        CompileOptions opt;
+        opt.record_trace = true;
+        opt.telemetry.enabled = true;
+        batch.addSpec(spec, opt);
+    }
+    const CostModel cost; // every job compiled with the default model
+    for (const BatchResult &r : batch.compileAll()) {
+        ASSERT_TRUE(r.ok) << r.error;
+        const std::string json =
+            telemetry::chromeTraceJson(r.report, cost);
+        EXPECT_TRUE(JsonChecker(json).valid()) << r.label;
+    }
+}
+
+TEST(JsonWellformed, FlightRecordingJson)
+{
+    const Circuit circuit = gen::make("qft:9");
+    for (auto backend : {SchedulerBackend::Braiding,
+                         SchedulerBackend::LatticeSurgery}) {
+        CompileOptions opt;
+        opt.backend = backend;
+        opt.record_lifecycle = true;
+        const auto report = compilePipeline(circuit, opt);
+        ASSERT_NE(report.result.recording, nullptr);
+        EXPECT_TRUE(
+            JsonChecker(report.result.recording->toJson()).valid());
+    }
 }
 
 TEST(JsonWellformed, MetricsRegistryJson)

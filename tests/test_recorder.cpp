@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Flight-recorder tests: the recorder is a strict no-op when disabled,
+ * recordings satisfy the exact-sum lifecycle invariant under both
+ * communication backends, the congestion heatmap reconciles with the
+ * schedule trace, recordings are byte-identical across batch thread
+ * counts, and the emitted JSON round-trips through the JSON reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "compiler/batch.hpp"
+#include "compiler/driver.hpp"
+#include "gen/registry.hpp"
+#include "telemetry/recorder.hpp"
+
+namespace autobraid {
+namespace {
+
+CompileReport
+compileRecorded(const std::string &spec, SchedulerBackend backend,
+                bool record = true)
+{
+    CompileOptions opt;
+    opt.backend = backend;
+    opt.record_trace = true;
+    opt.record_lifecycle = record;
+    return compilePipeline(gen::make(spec), opt);
+}
+
+TEST(Recorder, OffByDefaultIsNoOp)
+{
+    CompileOptions opt;
+    const CompileReport report =
+        compilePipeline(gen::make("qft:9"), opt);
+    EXPECT_EQ(report.result.recording, nullptr);
+
+    // Recording must observe the schedule, not perturb it.
+    const CompileReport recorded =
+        compileRecorded("qft:9", SchedulerBackend::Braiding);
+    ASSERT_NE(recorded.result.recording, nullptr);
+    EXPECT_EQ(report.result.makespan, recorded.result.makespan);
+}
+
+class RecorderLifecycle
+    : public testing::TestWithParam<SchedulerBackend>
+{};
+
+TEST_P(RecorderLifecycle, ExactSumInvariant)
+{
+    for (const char *spec : {"qft:12", "im:12:3", "ghz:8"}) {
+        const CompileReport report =
+            compileRecorded(spec, GetParam());
+        ASSERT_NE(report.result.recording, nullptr) << spec;
+        const telemetry::FlightRecording &rec =
+            *report.result.recording;
+
+        EXPECT_EQ(rec.makespan, report.result.makespan) << spec;
+        uint64_t stall_by_cause[telemetry::kNumStallCauses] = {0};
+        uint64_t blocked_attempts = 0;
+        for (const telemetry::GateRecord &g : rec.gates) {
+            ASSERT_TRUE(g.complete()) << spec;
+            EXPECT_LE(g.ready, g.dispatched) << spec;
+            EXPECT_LE(g.dispatched, g.retired) << spec;
+            // The invariant the whole design hangs on: per-gate stall
+            // cycles sum to exactly the ready->dispatch wait.
+            EXPECT_EQ(g.stallTotal(), g.dispatched - g.ready) << spec;
+            for (size_t c = 0; c < telemetry::kNumStallCauses; ++c)
+                stall_by_cause[c] += g.stall[c];
+            blocked_attempts += g.blocked_attempts;
+        }
+        for (size_t c = 0; c < telemetry::kNumStallCauses; ++c)
+            EXPECT_EQ(rec.stall_totals[c], stall_by_cause[c]) << spec;
+        EXPECT_EQ(rec.blocked.size(), blocked_attempts) << spec;
+    }
+}
+
+TEST_P(RecorderLifecycle, HeatmapMatchesTrace)
+{
+    const CompileReport report = compileRecorded("im:12:3", GetParam());
+    ASSERT_NE(report.result.recording, nullptr);
+    const telemetry::FlightRecording &rec = *report.result.recording;
+
+    // Every acquired region shows up in the trace; the heatmap must
+    // account for exactly the same vertex-cycles.
+    uint64_t trace_vertex_cycles = 0;
+    for (const TraceEntry &e : report.result.trace) {
+        if (e.path.empty() || e.channel_release <= e.start)
+            continue;
+        trace_vertex_cycles +=
+            static_cast<uint64_t>(e.path.length()) *
+            (e.channel_release - e.start);
+    }
+    EXPECT_EQ(rec.heatmapSum(), trace_vertex_cycles);
+    EXPECT_EQ(rec.vertex_busy_cycles.size(),
+              static_cast<size_t>(rec.grid_rows) *
+                  static_cast<size_t>(rec.grid_cols));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, RecorderLifecycle,
+    testing::Values(SchedulerBackend::Braiding,
+                    SchedulerBackend::LatticeSurgery));
+
+TEST(Recorder, ByteIdenticalAcrossBatchThreads)
+{
+    const char *specs[] = {"qft:10", "im:10:2", "ghz:8", "qft:12"};
+    std::vector<std::string> json_by_threads[2];
+    const int thread_counts[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+        BatchOptions bopt;
+        bopt.threads = thread_counts[i];
+        BatchCompiler batch(bopt);
+        for (const char *spec : specs) {
+            CompileOptions opt;
+            opt.record_lifecycle = true;
+            batch.addSpec(spec, opt);
+        }
+        for (const BatchResult &r : batch.compileAll()) {
+            ASSERT_TRUE(r.ok) << r.error;
+            ASSERT_NE(r.report.result.recording, nullptr);
+            json_by_threads[i].push_back(
+                r.report.result.recording->toJson());
+        }
+    }
+    ASSERT_EQ(json_by_threads[0].size(), json_by_threads[1].size());
+    for (size_t i = 0; i < json_by_threads[0].size(); ++i)
+        EXPECT_EQ(json_by_threads[0][i], json_by_threads[1][i])
+            << specs[i];
+}
+
+TEST(Recorder, JsonRoundTripsThroughReader)
+{
+    const CompileReport report =
+        compileRecorded("qft:10", SchedulerBackend::Braiding);
+    ASSERT_NE(report.result.recording, nullptr);
+    const telemetry::FlightRecording &rec = *report.result.recording;
+
+    const json::Value doc = json::parse(rec.toJson());
+    EXPECT_EQ(doc.stringOr("format", ""), "autobraid-recording");
+    EXPECT_EQ(doc.numberOr("version", 0), 1.0);
+    EXPECT_EQ(static_cast<uint64_t>(doc.numberOr("makespan", 0)),
+              rec.makespan);
+    ASSERT_NE(doc.find("gates"), nullptr);
+    EXPECT_EQ(doc.find("gates")->asArray().size(), rec.gates.size());
+    ASSERT_NE(doc.find("stall_totals"), nullptr);
+    EXPECT_EQ(static_cast<uint64_t>(doc.find("stall_totals")
+                                        ->numberOr("congestion", 0)),
+              rec.stall_totals[static_cast<size_t>(
+                  telemetry::StallCause::Congestion)]);
+    ASSERT_NE(doc.find("vertex_busy_cycles"), nullptr);
+    EXPECT_EQ(doc.find("vertex_busy_cycles")->asArray().size(),
+              rec.vertex_busy_cycles.size());
+}
+
+TEST(Recorder, UnitLifecycleAndAttribution)
+{
+    telemetry::FlightRecorder recorder(2, 4);
+    recorder.onReady(0, 10);
+    recorder.onReady(0, 12); // idempotent: first examination wins
+    recorder.onBlocked(0, 15, telemetry::StallCause::Congestion);
+    recorder.onBlocked(0, 20, telemetry::StallCause::RegionConflict);
+    recorder.onDispatched(0, 26);
+    recorder.onRetired(0, 30);
+
+    // Gate 1 dispatches the instant it becomes ready.
+    recorder.onReady(1, 5);
+    recorder.onDispatched(1, 5);
+    recorder.onRetired(1, 9);
+
+    const int32_t vs[] = {0, 2};
+    recorder.onRegionHeld(vs, 2, 26, 30);
+    recorder.onRegionHeld(vs, 2, 30, 30); // empty window: no-op
+
+    const telemetry::FlightRecording rec = recorder.finish(30);
+    const telemetry::GateRecord &g0 = rec.gates[0];
+    EXPECT_EQ(g0.ready, 10u);
+    EXPECT_EQ(g0.dispatched, 26u);
+    EXPECT_EQ(g0.retired, 30u);
+    // [10,15) had no pending cause yet -> charged to dependence;
+    // [15,20) to congestion; [20,26) to region_conflict.
+    EXPECT_EQ(g0.stall[static_cast<size_t>(
+                  telemetry::StallCause::Dependence)],
+              5u);
+    EXPECT_EQ(g0.stall[static_cast<size_t>(
+                  telemetry::StallCause::Congestion)],
+              5u);
+    EXPECT_EQ(g0.stall[static_cast<size_t>(
+                  telemetry::StallCause::RegionConflict)],
+              6u);
+    EXPECT_EQ(g0.stallTotal(), g0.dispatched - g0.ready);
+    EXPECT_EQ(g0.blocked_attempts, 2u);
+
+    EXPECT_EQ(rec.gates[1].stallTotal(), 0u);
+    EXPECT_TRUE(rec.gates[1].complete());
+
+    EXPECT_EQ(rec.vertex_busy_cycles[0], 4u);
+    EXPECT_EQ(rec.vertex_busy_cycles[1], 0u);
+    EXPECT_EQ(rec.vertex_busy_cycles[2], 4u);
+    EXPECT_EQ(rec.heatmapSum(), 8u);
+    EXPECT_EQ(rec.makespan, 30u);
+}
+
+} // namespace
+} // namespace autobraid

@@ -27,6 +27,10 @@
  *     --json-trace                emit a JSON report with full trace
  *     --trace-out=FILE            write a Chrome trace-event JSON file
  *                                 (load it in Perfetto; single input)
+ *     --record-out=FILE           write the scheduler flight recording
+ *                                 (per-gate lifecycle, stall causes,
+ *                                 congestion heatmap) as JSON for
+ *                                 autobraid_inspect (single input)
  *     --metrics-out=FILE          write the telemetry metrics registry
  *                                 as JSON, aggregated over all runs
  *     --draw                      ASCII placement + braid activity
@@ -86,6 +90,7 @@ struct CliOptions
     int defects = 0;
     int jobs = 1;
     std::string trace_out;
+    std::string record_out;
     std::string metrics_out;
     std::string lint_out;
     std::vector<std::string> inputs;
@@ -101,7 +106,7 @@ usage(int code)
         "  --distance=D  --p=F  --seed=S\n"
         "  --no-maslov  --defects=N  --teleport=HOLD  --compare\n"
         "  --sweep-p  --jobs=N  --timings  --json  --json-trace\n"
-        "  --trace-out=FILE  --metrics-out=FILE\n"
+        "  --trace-out=FILE  --record-out=FILE  --metrics-out=FILE\n"
         "  --draw  --stats  --list\n"
         "  --lint  --lint-out=FILE  --lint-werror\n"
         "  --lint-suppress=CODES\n");
@@ -179,6 +184,8 @@ parseArgs(int argc, char **argv)
             opts.json = opts.json_trace = true;
         } else if (matchValue(arg, "--trace-out", value)) {
             opts.trace_out = value;
+        } else if (matchValue(arg, "--record-out", value)) {
+            opts.record_out = value;
         } else if (matchValue(arg, "--metrics-out", value)) {
             opts.metrics_out = value;
         } else if (std::strcmp(arg, "--draw") == 0) {
@@ -209,6 +216,12 @@ parseArgs(int argc, char **argv)
         (opts.inputs.size() != 1 || opts.compare || opts.sweep_p)) {
         std::fprintf(stderr, "--trace-out needs exactly one input and "
                              "no --compare/--sweep-p\n");
+        usage(2);
+    }
+    if (!opts.record_out.empty() &&
+        (opts.inputs.size() != 1 || opts.compare || opts.sweep_p)) {
+        std::fprintf(stderr, "--record-out needs exactly one input "
+                             "and no --compare/--sweep-p\n");
         usage(2);
     }
     if (!opts.lint_out.empty() &&
@@ -292,6 +305,7 @@ runOne(const CliOptions &opts, const std::string &input,
     CompileOptions compile = opts.compile;
     compile.record_trace =
         opts.json_trace || opts.draw || !opts.trace_out.empty();
+    compile.record_lifecycle = !opts.record_out.empty();
 
     if (opts.defects > 0) {
         const Grid grid = Grid::forQubits(circuit.numQubits());
@@ -346,6 +360,12 @@ runOne(const CliOptions &opts, const std::string &input,
             writeTextFile(
                 opts.trace_out,
                 telemetry::chromeTraceJson(report, o.cost) + "\n");
+        if (!opts.record_out.empty()) {
+            require(report.result.recording != nullptr,
+                    "scheduler produced no flight recording");
+            writeTextFile(opts.record_out,
+                          report.result.recording->toJson());
+        }
         if (opts.json) {
             std::printf("%s\n",
                         viz::reportToJson(report, o.cost,

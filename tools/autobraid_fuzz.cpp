@@ -32,6 +32,11 @@
  *     --no-shrink           keep failing circuits unshrunk
  *     --repro-out=FILE      write the first failure's shrunken
  *                           reproducer as OpenQASM
+ *     --record-out=FILE     compile the first failure's shrunken
+ *                           reproducer with the flight recorder and
+ *                           write the recording JSON, so failures
+ *                           ship with their schedule timeline
+ *                           (tools/autobraid_inspect)
  *     --metrics-out=FILE    write fuzz telemetry metrics as JSON
  *
  * Every --key=value option also accepts the two-token "--key value"
@@ -46,6 +51,7 @@
 
 #include "common/error.hpp"
 #include "common/text.hpp"
+#include "compiler/driver.hpp"
 #include "qasm/exporter.hpp"
 #include "telemetry/telemetry.hpp"
 #include "testing/harness.hpp"
@@ -58,6 +64,7 @@ struct CliOptions
 {
     fuzz::FuzzOptions fuzz;
     std::string repro_out;
+    std::string record_out;
     std::string metrics_out;
 };
 
@@ -75,6 +82,7 @@ usage(int code)
         "  --cross-backend-stride=N\n"
         "  --no-lint-oracle --no-shrink\n"
         "  --repro-out=FILE  first failure's reproducer as OpenQASM\n"
+        "  --record-out=FILE first failure's flight recording JSON\n"
         "  --metrics-out=FILE  fuzz telemetry metrics as JSON\n"
         "Options also accept the two-token \"--key value\" form.\n");
     std::exit(code);
@@ -140,6 +148,8 @@ parseArgs(int argc, char **argv)
             opts.fuzz.shrink = false;
         } else if (matchValue(argc, argv, i, "--repro-out", value)) {
             opts.repro_out = value;
+        } else if (matchValue(argc, argv, i, "--record-out", value)) {
+            opts.record_out = value;
         } else if (matchValue(argc, argv, i, "--metrics-out", value)) {
             opts.metrics_out = value;
         } else {
@@ -187,6 +197,33 @@ run(const CliOptions &opts)
         std::printf("reproducer for seed %llu written to %s\n",
                     static_cast<unsigned long long>(first.seed),
                     opts.repro_out.c_str());
+    }
+    if (!summary.failures.empty() && !opts.record_out.empty()) {
+        // Recompile the shrunken reproducer with the flight recorder
+        // so the failure ships with its schedule timeline. A failure
+        // can be a compile crash, in which case there is no recording
+        // to attach — report that instead of masking the fuzz result.
+        const fuzz::FuzzFailure &first = summary.failures.front();
+        try {
+            CompileOptions opt;
+            opt.backend = opts.fuzz.backend;
+            opt.record_lifecycle = true;
+            const CompileReport report =
+                compileCircuit(first.reproducer, opt);
+            if (report.result.recording) {
+                writeTextFile(opts.record_out,
+                              report.result.recording->toJson());
+                std::printf(
+                    "flight recording for seed %llu written to %s\n",
+                    static_cast<unsigned long long>(first.seed),
+                    opts.record_out.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "no flight recording: reproducer compile "
+                         "threw: %s\n",
+                         e.what());
+        }
     }
     return summary.ok() ? 0 : 1;
 }

@@ -18,6 +18,10 @@
  *     --werror                     promote warnings to errors
  *     --sarif-out=FILE             write SARIF 2.1.0 JSON ("-" =
  *                                  stdout)
+ *     --metrics-out=FILE           write the telemetry metrics
+ *                                  registry as JSON, aggregated over
+ *                                  all inputs (shared exporter with
+ *                                  autobraid_cli / autobraid_fuzz)
  *     --policy=baseline|sp|full    placement policy (default full)
  *     --distance=D                 code distance (default 33)
  *     --teleport=HOLD              teleport-style channel hold cycles
@@ -42,6 +46,7 @@
 #include "analysis/lint.hpp"
 #include "common/error.hpp"
 #include "common/text.hpp"
+#include "telemetry/telemetry.hpp"
 #include "compiler/options.hpp"
 #include "gen/registry.hpp"
 #include "lattice/defects.hpp"
@@ -64,6 +69,7 @@ struct LintCliOptions
     std::vector<VertexId> dead;
     bool quiet = false;
     std::string sarif_out;
+    std::string metrics_out;
     std::vector<std::string> inputs;
 };
 
@@ -74,7 +80,8 @@ usage(int code)
         stderr,
         "usage: autobraid_lint [options] <spec-or-file>...\n"
         "  --level=errors|warnings|all  --suppress=CODES  --werror\n"
-        "  --sarif-out=FILE  --policy=baseline|sp|full  --distance=D\n"
+        "  --sarif-out=FILE  --metrics-out=FILE\n"
+        "  --policy=baseline|sp|full  --distance=D\n"
         "  --teleport=HOLD  --seed=S  --defects=N  --dead=V1,V2,...\n"
         "  --quiet  --list\n");
     std::exit(code);
@@ -125,6 +132,8 @@ parseArgs(int argc, char **argv)
             opts.diag.werror = true;
         } else if (matchValue(arg, "--sarif-out", value)) {
             opts.sarif_out = value;
+        } else if (matchValue(arg, "--metrics-out", value)) {
+            opts.metrics_out = value;
         } else if (matchValue(arg, "--policy", value)) {
             // parseArgs runs outside main's try block, so parse
             // errors are reported here instead of propagating.
@@ -233,15 +242,26 @@ main(int argc, char **argv)
 {
     const LintCliOptions opts = parseArgs(argc, argv);
     lint::DiagnosticEngine engine(opts.diag);
+    // One telemetry sink for the whole run; installed only when the
+    // caller asked for metrics so default runs stay zero-overhead
+    // (the same exporter path as autobraid_cli / autobraid_fuzz).
+    telemetry::TelemetryOptions topt;
+    topt.enabled = !opts.metrics_out.empty();
+    topt.spans = false;
+    telemetry::Telemetry sink(topt);
     bool input_failed = false;
-    for (const std::string &input : opts.inputs) {
-        try {
-            if (!lintInput(opts, input, engine))
+    {
+        telemetry::TelemetryScope scope(topt.enabled ? &sink
+                                                     : nullptr);
+        for (const std::string &input : opts.inputs) {
+            try {
+                if (!lintInput(opts, input, engine))
+                    input_failed = true;
+            } catch (const Error &e) {
+                std::fprintf(stderr, "error: %s: %s\n",
+                             input.c_str(), e.what());
                 input_failed = true;
-        } catch (const Error &e) {
-            std::fprintf(stderr, "error: %s: %s\n", input.c_str(),
-                         e.what());
-            input_failed = true;
+            }
         }
     }
 
@@ -257,6 +277,15 @@ main(int argc, char **argv)
                 std::fputs(sarif.c_str(), stdout);
             else
                 writeTextFile(opts.sarif_out, sarif);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (!opts.metrics_out.empty()) {
+        try {
+            writeTextFile(opts.metrics_out,
+                          sink.metrics().toJson() + "\n");
         } catch (const Error &e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
