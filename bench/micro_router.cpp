@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "circuit/dag.hpp"
 #include "common/rng.hpp"
 #include "gen/qft.hpp"
@@ -122,19 +124,70 @@ BM_RoutingStage(benchmark::State &state)
         grid, static_cast<int>(state.range(0)), 42);
     StackPathFinder finder(grid);
     TimedOccupancy occ(grid);
-    std::vector<uint8_t> blocked(
-        static_cast<size_t>(grid.numVertices()), 0);
+    BlockedBitset blocked(static_cast<size_t>(grid.numVertices()));
     const LatticeTime t = 0;
     occ.advanceTo(t);
     for (VertexId v = 0; v < grid.numVertices(); ++v)
-        blocked[static_cast<size_t>(v)] =
-            occ.freeAt(v, t) ? 0 : 1;
+        if (!occ.freeAt(v, t))
+            blocked.set(static_cast<size_t>(v));
     for (auto _ : state) {
         auto outcome = finder.findPaths(tasks, blocked);
         benchmark::DoNotOptimize(outcome);
     }
 }
 BENCHMARK(BM_RoutingStage)->Arg(64)->Arg(256)->Arg(1000);
+
+/**
+ * Random short-range CX tasks: each pair spans at most @p radius cells,
+ * so a large lattice carries many independent interference components —
+ * the regime component-parallel routing targets.
+ */
+std::vector<CxTask>
+randomLocalTasks(const Grid &grid, int count, int radius,
+                 uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<CxTask> tasks;
+    tasks.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const Cell a{rng.intIn(0, grid.rows() - 1),
+                     rng.intIn(0, grid.cols() - 1)};
+        Cell b = a;
+        while (b == a)
+            b = Cell{
+                std::clamp(a.r + rng.intIn(-radius, radius), 0,
+                           grid.rows() - 1),
+                std::clamp(a.c + rng.intIn(-radius, radius), 0,
+                           grid.cols() - 1)};
+        tasks.push_back(
+            CxTask::make(static_cast<GateIdx>(i), a, b));
+    }
+    return tasks;
+}
+
+void
+BM_RoutingStageWide(benchmark::State &state)
+{
+    // The routing stage on a 100x100 lattice (10k tiles) with
+    // short-range traffic: many small interference components.
+    // Arg 0 = concurrent tasks, arg 1 = route_jobs worker threads
+    // (schedules are byte-identical across worker counts; only the
+    // wall clock moves).
+    Grid grid(100, 100);
+    const auto tasks = randomLocalTasks(
+        grid, static_cast<int>(state.range(0)), 3, 42);
+    StackPathFinder finder(grid, static_cast<int>(state.range(1)));
+    const auto free = noBlockedVertices(grid);
+    for (auto _ : state) {
+        auto outcome = finder.findPaths(tasks, free);
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+BENCHMARK(BM_RoutingStageWide)
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({1000, 1})
+    ->Args({1000, 8});
 
 void
 BM_ComputeLlgs(benchmark::State &state)

@@ -18,6 +18,7 @@ CompileOptions::schedulerConfig() const
     cfg.seed = seed;
     cfg.record_trace = record_trace;
     cfg.record_lifecycle = record_lifecycle;
+    cfg.route_jobs = route_jobs;
     cfg.dead_vertices = dead_vertices;
     cfg.baseline_order = baseline_order;
     cfg.channel_hold_cycles = channel_hold_cycles;
@@ -63,6 +64,8 @@ CompileOptions::validate(const Circuit &circuit) const
               circuit.name().c_str());
     if (p_threshold < 0.0 || p_threshold > 1.0)
         fatal("p_threshold must lie in [0, 1], got %g", p_threshold);
+    if (route_jobs < 1)
+        fatal("route_jobs must be >= 1, got %d", route_jobs);
     if (cost.distance < 1)
         fatal("code distance must be >= 1, got %d", cost.distance);
     const Grid grid = Grid::forQubits(circuit.numQubits());

@@ -40,6 +40,14 @@ struct CompileOptions
     bool record_trace = false;   ///< keep a full TraceEntry log
 
     /**
+     * Worker threads for component-parallel routing inside one
+     * compilation's scheduler (SchedulerConfig::route_jobs). Schedules
+     * are byte-identical for every value >= 1; this is a wall-clock
+     * knob, orthogonal to the BatchCompiler's per-circuit jobs.
+     */
+    int route_jobs = 1;
+
+    /**
      * Record the scheduler's flight recording (per-gate lifecycle,
      * stall attribution, congestion heatmap) into
      * CompileReport::result.recording. Off by default; inspect it

@@ -86,6 +86,16 @@ Placement::tasks(const Circuit &circuit,
                  const std::vector<GateIdx> &gates) const
 {
     std::vector<CxTask> out;
+    tasks(circuit, gates, out);
+    return out;
+}
+
+void
+Placement::tasks(const Circuit &circuit,
+                 const std::vector<GateIdx> &gates,
+                 std::vector<CxTask> &out) const
+{
+    out.clear();
     out.reserve(gates.size());
     for (GateIdx g : gates) {
         const Gate &gate = circuit.gate(g);
@@ -93,7 +103,6 @@ Placement::tasks(const Circuit &circuit,
                 "Placement::tasks: gate does not need a braid");
         out.push_back(CxTask::make(g, cellOf(gate.q0), cellOf(gate.q1)));
     }
-    return out;
 }
 
 void

@@ -61,6 +61,11 @@ class Placement
     std::vector<CxTask> tasks(const Circuit &circuit,
                               const std::vector<GateIdx> &gates) const;
 
+    /** tasks() into a caller-owned buffer (allocation-free reuse). */
+    void tasks(const Circuit &circuit,
+               const std::vector<GateIdx> &gates,
+               std::vector<CxTask> &out) const;
+
     /** Validate injectivity and bounds; raises InternalError on failure. */
     void check() const;
 

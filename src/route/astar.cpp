@@ -8,11 +8,10 @@
 
 namespace autobraid {
 
-std::vector<uint8_t>
+BlockedBitset
 noBlockedVertices(const Grid &grid)
 {
-    return std::vector<uint8_t>(static_cast<size_t>(grid.numVertices()),
-                                0);
+    return BlockedBitset(static_cast<size_t>(grid.numVertices()));
 }
 
 namespace {
@@ -37,8 +36,20 @@ AStarRouter::AStarRouter(const Grid &grid)
     : grid_(&grid),
       seen_(static_cast<size_t>(grid.numVertices()), 0),
       dist_(static_cast<size_t>(grid.numVertices()), 0),
-      parent_(static_cast<size_t>(grid.numVertices()), -1)
+      parent_(static_cast<size_t>(grid.numVertices()), -1),
+      region_stamp_(static_cast<size_t>(grid.numVertices()), 0)
 {}
+
+void
+AStarRouter::beginMaskEpoch()
+{
+    epoch_active_ = true;
+    if (flood_id_ == UINT32_MAX) {
+        std::fill(region_stamp_.begin(), region_stamp_.end(), 0u);
+        flood_id_ = 0;
+    }
+    epoch_first_flood_ = flood_id_ + 1;
+}
 
 std::optional<Path>
 AStarRouter::route(const Cell &src, const Cell &dst, BlockedMask blocked,
@@ -58,6 +69,56 @@ AStarRouter::route(const Cell &src, const Cell &dst, BlockedMask blocked,
     ++stamp_;
     const auto targets = grid_->corners(dst);
     const auto target_ids = grid_->cornerIds(dst);
+    const auto source_ids = grid_->cornerIds(src);
+
+    // Failed-flood region cache (see beginMaskEpoch): when every
+    // usable source corner sits in a region some failed flood of this
+    // epoch already explored, and no usable target corner carries a
+    // matching region stamp, the query cannot succeed — masks only
+    // grow within an epoch, so regions only shrink.
+    const bool cache = epoch_active_ && confine == nullptr;
+    if (cache) {
+        uint32_t src_stamps[4];
+        int n_src = 0;
+        bool all_stamped = true;
+        for (int i = 0; i < 4; ++i) {
+            if (!(src_corners & (1u << i)))
+                continue;
+            const VertexId s = source_ids[static_cast<size_t>(i)];
+            if (blocked[s])
+                continue;
+            const uint32_t st =
+                region_stamp_[static_cast<size_t>(s)];
+            if (st < epoch_first_flood_) {
+                all_stamped = false;
+                break;
+            }
+            src_stamps[n_src++] = st;
+        }
+        if (all_stamped && n_src > 0) {
+            bool maybe_reachable = false;
+            for (int i = 0; i < 4 && !maybe_reachable; ++i) {
+                if (!(dst_corners & (1u << i)))
+                    continue;
+                const VertexId d =
+                    target_ids[static_cast<size_t>(i)];
+                if (blocked[d])
+                    continue;
+                const uint32_t st =
+                    region_stamp_[static_cast<size_t>(d)];
+                for (int k = 0; k < n_src; ++k) {
+                    if (src_stamps[k] == st) {
+                        maybe_reachable = true;
+                        break;
+                    }
+                }
+            }
+            if (!maybe_reachable) {
+                AUTOBRAID_COUNT("route.astar_region_skips");
+                return std::nullopt;
+            }
+        }
+    }
 
     auto heuristic = [&targets, dst_corners](const Vertex &v) {
         int best = -1;
@@ -86,7 +147,6 @@ AStarRouter::route(const Cell &src, const Cell &dst, BlockedMask blocked,
     open_.clear();
     const OpenLater later{};
 
-    const auto source_ids = grid_->cornerIds(src);
     for (int i = 0; i < 4; ++i) {
         if (!(src_corners & (1u << i)))
             continue;
@@ -140,6 +200,18 @@ AStarRouter::route(const Cell &src, const Cell &dst, BlockedMask blocked,
             open_.emplace_back(ng + heuristic(grid_->vertex(w)), ng, w);
             std::push_heap(open_.begin(), open_.end(), later);
         }
+    }
+    // The exhausted flood visited exactly the free connected region of
+    // the usable source corners — the vertices carrying this query's
+    // seen_ stamp. Stamp that region so later same-epoch queries from
+    // inside it can fail without searching. The scan is O(vertices)
+    // and runs only on the failure path, so successful routes pay
+    // nothing for the cache.
+    if (cache) {
+        ++flood_id_;
+        for (size_t v = 0; v < seen_.size(); ++v)
+            if (seen_[v] == stamp_)
+                region_stamp_[v] = flood_id_;
     }
     AUTOBRAID_OBSERVE("route.astar_nodes",
                       static_cast<double>(expanded));

@@ -20,60 +20,67 @@
 #include <vector>
 
 #include "lattice/geometry.hpp"
+#include "route/blocked_bitset.hpp"
 #include "route/path.hpp"
 
 namespace autobraid {
 
 /**
- * Flat blocked mask over all grid vertices: byte v is non-zero when
- * vertex v is unavailable for routing (dead or occupied). A non-owning
- * view — the caller keeps the bytes alive for the duration of the
- * query. This replaces the former std::function<bool(VertexId)>
- * predicate so the A* inner loop reads one byte per probe instead of
- * making an indirect call through a closure.
+ * Flat blocked mask over all grid vertices, packed 64 vertices per
+ * word: bit v is set when vertex v is unavailable for routing (dead or
+ * occupied). A non-owning view — the caller keeps the words alive for
+ * the duration of the query (usually a BlockedBitset). The word
+ * packing keeps whole-mask refreshes and contiguous-range feasibility
+ * checks word-wise; the A* inner loop still reads one bit per probe.
  */
 class BlockedMask
 {
   public:
     BlockedMask() = default;
 
-    BlockedMask(const uint8_t *data, size_t size)
-        : data_(data), size_(size)
+    /** View over @p words covering @p size vertices. */
+    BlockedMask(const uint64_t *words, size_t size)
+        : words_(words), size_(size)
     {}
 
-    /** View over @p bytes (one byte per vertex). */
-    /* implicit */ BlockedMask(const std::vector<uint8_t> &bytes)
-        : data_(bytes.data()), size_(bytes.size())
+    /** View over an owning bitset (one bit per vertex). */
+    /* implicit */ BlockedMask(const BlockedBitset &bits)
+        : words_(bits.words()), size_(bits.size())
     {}
 
     /** True when vertex @p v is unavailable. */
     bool operator[](VertexId v) const
     {
-        return data_[static_cast<size_t>(v)] != 0;
+        const auto i = static_cast<size_t>(v);
+        return (words_[i >> 6] >> (i & 63u)) & 1u;
     }
 
-    const uint8_t *data() const { return data_; }
+    const uint64_t *words() const { return words_; }
     size_t size() const { return size_; }
+    size_t numWords() const
+    {
+        return BlockedBitset::wordCount(size_);
+    }
 
   private:
-    const uint8_t *data_ = nullptr;
+    const uint64_t *words_ = nullptr;
     size_t size_ = 0;
 };
 
-/** Materialize a blocked byte-mask from a predicate (tests, tools). */
+/** Materialize a blocked bitset from a predicate (tests, tools). */
 template <typename Pred>
-std::vector<uint8_t>
+BlockedBitset
 materializeBlocked(const Grid &grid, Pred &&pred)
 {
-    std::vector<uint8_t> bytes(static_cast<size_t>(grid.numVertices()),
-                               0);
+    BlockedBitset bits(static_cast<size_t>(grid.numVertices()));
     for (VertexId v = 0; v < grid.numVertices(); ++v)
-        bytes[static_cast<size_t>(v)] = pred(v) ? 1 : 0;
-    return bytes;
+        if (pred(v))
+            bits.set(static_cast<size_t>(v));
+    return bits;
 }
 
-/** All-free blocked mask bytes for @p grid (tests, benches). */
-std::vector<uint8_t> noBlockedVertices(const Grid &grid);
+/** All-free blocked bitset for @p grid (tests, benches). */
+BlockedBitset noBlockedVertices(const Grid &grid);
 
 /**
  * Reusable A* router. Scratch buffers (visit stamps, distances,
@@ -116,6 +123,21 @@ class AStarRouter
                               unsigned src_corners = kAllCorners,
                               unsigned dst_corners = kAllCorners);
 
+    /**
+     * Start a monotone-mask epoch: until the next call, every route()
+     * query must see a blocked mask that only ever gains blocked
+     * vertices (the path-finder claim pattern). Within such an epoch a
+     * failed flood visits exactly the free connected region of its
+     * usable source corners, so the router stamps those vertices and
+     * instantly fails later queries whose sources all sit in
+     * already-flooded regions that contain no usable target corner.
+     * Sound because masks only grow: two vertices connected now were
+     * connected at every earlier flood, so their latest region stamps
+     * are equal. Disabled for confined queries (their floods do not
+     * cover the whole region).
+     */
+    void beginMaskEpoch();
+
     /** The grid this router searches. */
     const Grid &grid() const { return *grid_; }
 
@@ -129,6 +151,11 @@ class AStarRouter
     std::vector<int32_t> dist_;
     std::vector<VertexId> parent_;
     std::vector<OpenEntry> open_;   // binary-heap storage, reused
+    // Failed-flood region cache (see beginMaskEpoch).
+    bool epoch_active_ = false;
+    uint32_t flood_id_ = 0;          // id of the last failed flood
+    uint32_t epoch_first_flood_ = 1; // stamps below this are stale
+    std::vector<uint32_t> region_stamp_; // latest failed flood per vertex
 };
 
 } // namespace autobraid

@@ -64,7 +64,8 @@ GreedyPathFinder::findPaths(const std::vector<CxTask> &tasks,
                          });
     }
 
-    unavailable_.assign(blocked.data(), blocked.data() + blocked.size());
+    unavailable_.assignWords(blocked.words(), blocked.size());
+    router_.beginMaskEpoch();
     for (size_t idx : order_scratch_) {
         auto path = router_.route(tasks[idx].a, tasks[idx].b,
                                   BlockedMask(unavailable_), nullptr,
@@ -74,7 +75,7 @@ GreedyPathFinder::findPaths(const std::vector<CxTask> &tasks,
             continue;
         }
         for (VertexId v : path->vertices)
-            unavailable_[static_cast<size_t>(v)] = 1;
+            unavailable_.set(static_cast<size_t>(v));
         outcome.routed.emplace_back(idx, std::move(*path));
     }
     outcome.ratio = static_cast<double>(outcome.routed.size()) /

@@ -58,7 +58,7 @@ class GreedyPathFinder : public PathFinder
     // Persistent per-instant scratch, reused across findPaths calls.
     std::vector<size_t> order_scratch_;
     /** Caller's blocked mask merged with vertices claimed this call. */
-    std::vector<uint8_t> unavailable_;
+    BlockedBitset unavailable_;
 };
 
 } // namespace autobraid

@@ -8,6 +8,14 @@
  * area) until the maximum degree is <= 2 — a relaxation of the LLG size-3
  * condition of Theorem 1.
  *
+ * Adjacency is a word-packed bitmap (one n-bit row per node) rather
+ * than per-node edge lists: the O(n^2) build writes one bit per pair
+ * instead of 8-byte list entries on both endpoints, the pair tests
+ * vectorize over flat coordinate arrays, and neighbour iteration walks
+ * n/64 words per row. Dense instants (the Maslov fallback's all-to-all
+ * layers) are exactly where edge lists blow up — half a million list
+ * entries for a 1000-gate instant versus a 125 KB bitmap.
+ *
  * Degrees only ever decrease after construction, so the maximum-degree
  * queries are served from per-degree buckets with lazy deletion: each
  * degree decrement appends the node to its new bucket, stale entries
@@ -22,6 +30,7 @@
 #define AUTOBRAID_ROUTE_INTERFERENCE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "llg/bbox.hpp"
@@ -39,14 +48,14 @@ class InterferenceGraph
     explicit InterferenceGraph(const std::vector<CxTask> &tasks);
 
     /**
-     * Rebuild the graph over @p tasks in place, reusing the adjacency
-     * and bucket buffers from previous builds so a finder that runs
-     * once per dispatch instant does not reallocate in steady state.
+     * Rebuild the graph over @p tasks in place, reusing the bitmap and
+     * bucket buffers from previous builds so a finder that runs once
+     * per dispatch instant does not reallocate in steady state.
      */
     void rebuild(const std::vector<CxTask> &tasks);
 
     /** Total nodes, including removed ones. */
-    size_t originalSize() const { return adj_.size(); }
+    size_t originalSize() const { return n_; }
 
     /** Nodes still present. */
     size_t size() const { return active_count_; }
@@ -70,14 +79,19 @@ class InterferenceGraph
     /** maxDegreeNodes() into a caller-owned buffer (no allocation). */
     void maxDegreeNodes(std::vector<size_t> &out) const;
 
+    /**
+     * The stack-peel victim: the maximum-degree node with the largest
+     * bounding-box area, ties broken by smallest index. Equivalent to
+     * scanning maxDegreeNodes() for the largest area, without the
+     * copy and sort of materializing the bucket.
+     */
+    size_t peelPick(const std::vector<CxTask> &tasks) const;
+
     /** Remove node @p i, updating neighbour degrees. */
     void remove(size_t i);
 
     /** Neighbours of @p i in the *original* graph (may include removed). */
-    const std::vector<size_t> &allNeighbors(size_t i) const
-    {
-        return adj_[i];
-    }
+    std::vector<size_t> allNeighbors(size_t i) const;
 
     /** Remaining (non-removed) neighbours of @p i. */
     std::vector<size_t> activeNeighbors(size_t i) const;
@@ -88,14 +102,34 @@ class InterferenceGraph
     /** activeNodes() into a caller-owned buffer (no allocation). */
     void activeNodes(std::vector<size_t> &out) const;
 
+    /**
+     * Label the connected components of the *original* graph (removals
+     * ignored): comp_id[i] is the component of node i, components
+     * numbered by their smallest member index. Returns the component
+     * count. Word-wise BFS: each frontier expansion ANDs the node's
+     * adjacency row against the not-yet-visited bitmap, so labeling is
+     * O(n^2/64) instead of O(n + E).
+     */
+    size_t components(std::vector<size_t> &comp_id) const;
+
   private:
     /** Drop stale entries from bucket @p d (lazy-deletion sweep). */
     void compactBucket(int d) const;
 
-    std::vector<std::vector<size_t>> adj_;
+    size_t n_ = 0;
+    size_t stride_ = 0;              ///< words per adjacency row
+    std::vector<uint64_t> rows_;     ///< n_ rows x stride_ words
+    std::vector<uint64_t> active_;   ///< bit i set while node i remains
     std::vector<int> degree_;
     std::vector<uint8_t> removed_;
     size_t active_count_ = 0;
+    // Flat bbox coordinates (SoA) so the rebuild pair tests vectorize;
+    // hit_ is the per-row 0/1 byte scratch the bit packer consumes.
+    std::vector<int> rmin_, rmax_, cmin_, cmax_;
+    std::vector<uint8_t> hit_;
+    // components() scratch (logically const query).
+    mutable std::vector<uint64_t> unvisited_;
+    mutable std::vector<size_t> bfs_;
     // buckets_[d] holds every node whose degree was ever exactly d; an
     // entry is live iff the node is still present and still at degree
     // d. A node's degree strictly decreases, so it appears at most

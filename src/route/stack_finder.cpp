@@ -1,13 +1,81 @@
 #include "route/stack_finder.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace autobraid {
 
-StackPathFinder::StackPathFinder(const Grid &grid) : router_(grid) {}
+namespace {
+
+/** Instants smaller than this route sequentially even with jobs > 1:
+ * thread spawn would cost more than the routing. Execution-only
+ * gating — the outcome is identical either way. */
+constexpr size_t kParallelTaskFloor = 16;
+
+} // namespace
+
+StackPathFinder::StackPathFinder(const Grid &grid, int jobs)
+    : grid_(&grid), jobs_(jobs < 1 ? 1 : jobs)
+{
+    scratch_.push_back(std::make_unique<RouteScratch>(grid));
+}
+
+void
+StackPathFinder::runStack(const std::vector<CxTask> &tasks,
+                          const std::vector<size_t> *global_index,
+                          BlockedMask blocked, InterferenceGraph &ig,
+                          RouteScratch &s, RoutingOutcome &out)
+{
+    // Stage 1-2: peel max-degree nodes onto the stack until maxdeg <= 2.
+    s.stack.clear();
+    while (ig.maxDegree() > 2) {
+        const size_t pick = ig.peelPick(tasks);
+        s.stack.push_back(pick);
+        ig.remove(pick);
+    }
+    AUTOBRAID_OBSERVE("route.stack_peeled",
+                      static_cast<double>(s.stack.size()));
+
+    // Stage 3: route the residual low-interference gates, smallest
+    // bounding box first so short-distance pairs consume local resources.
+    ig.activeNodes(s.residual);
+    std::stable_sort(s.residual.begin(), s.residual.end(),
+                     [&tasks](size_t x, size_t y) {
+                         return tasks[x].bbox.area() < tasks[y].bbox.area();
+                     });
+
+    // The caller's blocked view merged with vertices claimed by paths
+    // routed earlier in this call (the old per-call Occupancy). The
+    // mask only gains bits from here on, so failed A* floods can be
+    // cached for the rest of the call.
+    s.unavailable.assignWords(blocked.words(), blocked.size());
+    s.router.beginMaskEpoch();
+    auto try_route = [&](size_t idx) {
+        auto path = s.router.route(tasks[idx].a, tasks[idx].b,
+                                   BlockedMask(s.unavailable));
+        const size_t gidx = global_index ? (*global_index)[idx] : idx;
+        if (!path) {
+            out.failed.push_back(gidx);
+            return;
+        }
+        for (VertexId v : path->vertices)
+            s.unavailable.set(static_cast<size_t>(v));
+        out.routed.emplace_back(gidx, std::move(*path));
+    };
+
+    for (size_t idx : s.residual)
+        try_route(idx);
+
+    // Stage 4: pop the stack LIFO.
+    while (!s.stack.empty()) {
+        const size_t idx = s.stack.back();
+        s.stack.pop_back();
+        try_route(idx);
+    }
+}
 
 RoutingOutcome
 StackPathFinder::findPaths(const std::vector<CxTask> &tasks,
@@ -20,55 +88,106 @@ StackPathFinder::findPaths(const std::vector<CxTask> &tasks,
     AUTOBRAID_OBSERVE("route.stack_tasks",
                       static_cast<double>(tasks.size()));
     require(blocked.size() ==
-                static_cast<size_t>(router_.grid().numVertices()),
+                static_cast<size_t>(grid_->numVertices()),
             "StackPathFinder: blocked mask does not cover the grid");
 
-    // Stage 1-2: peel max-degree nodes onto the stack until maxdeg <= 2.
     ig_.rebuild(tasks);
-    stack_.clear();
-    while (ig_.maxDegree() > 2) {
-        ig_.maxDegreeNodes(ties_);
-        size_t pick = ties_.front();
-        for (size_t n : ties_)
-            if (tasks[n].bbox.area() > tasks[pick].bbox.area())
-                pick = n;
-        stack_.push_back(pick);
-        ig_.remove(pick);
-    }
-    AUTOBRAID_OBSERVE("route.stack_peeled",
-                      static_cast<double>(stack_.size()));
+    const size_t ncomp = ig_.components(comp_id_);
+    AUTOBRAID_OBSERVE("route.components",
+                      static_cast<double>(ncomp));
 
-    // Stage 3: route the residual low-interference gates, smallest
-    // bounding box first so short-distance pairs consume local resources.
-    ig_.activeNodes(residual_);
-    std::stable_sort(residual_.begin(), residual_.end(),
-                     [&tasks](size_t x, size_t y) {
-                         return tasks[x].bbox.area() < tasks[y].bbox.area();
-                     });
+    if (ncomp == 1) {
+        // One component: the global stack discipline IS the
+        // per-component one; route in place, no merge needed.
+        runStack(tasks, nullptr, blocked, ig_, *scratch_[0], outcome);
+    } else {
+        // Gather members per component (components are numbered by
+        // smallest task index, members stay in ascending index order).
+        if (comp_members_.size() < ncomp)
+            comp_members_.resize(ncomp);
+        for (size_t c = 0; c < ncomp; ++c)
+            comp_members_[c].clear();
+        for (size_t i = 0; i < tasks.size(); ++i)
+            comp_members_[comp_id_[i]].push_back(i);
+        proposals_.resize(ncomp);
 
-    // The caller's blocked view merged with vertices claimed by paths
-    // routed earlier in this call (the old per-call Occupancy).
-    unavailable_.assign(blocked.data(), blocked.data() + blocked.size());
-    auto try_route = [&](size_t idx) {
-        auto path = router_.route(tasks[idx].a, tasks[idx].b,
-                                  BlockedMask(unavailable_));
-        if (!path) {
-            outcome.failed.push_back(idx);
-            return;
+        // Propose routes for one component against mask @p base: a
+        // pure function of (component, base), so it can run on any
+        // thread without changing the result.
+        auto route_comp = [&](size_t c, RouteScratch &s,
+                              BlockedMask base, RoutingOutcome &p) {
+            s.comp_tasks.clear();
+            s.comp_index.clear();
+            for (const size_t i : comp_members_[c]) {
+                s.comp_index.push_back(i);
+                s.comp_tasks.push_back(tasks[i]);
+            }
+            p.routed.clear();
+            p.failed.clear();
+            s.ig.rebuild(s.comp_tasks);
+            runStack(s.comp_tasks, &s.comp_index, base, s.ig, s, p);
+        };
+
+        int nworkers = 1;
+        if (jobs_ > 1 && tasks.size() >= kParallelTaskFloor)
+            nworkers = static_cast<int>(
+                std::min<size_t>(static_cast<size_t>(jobs_), ncomp));
+        if (nworkers <= 1) {
+            for (size_t c = 0; c < ncomp; ++c)
+                route_comp(c, *scratch_[0], blocked, proposals_[c]);
+        } else {
+            while (scratch_.size() < static_cast<size_t>(nworkers))
+                scratch_.push_back(
+                    std::make_unique<RouteScratch>(*grid_));
+            std::vector<std::thread> threads;
+            threads.reserve(static_cast<size_t>(nworkers) - 1);
+            for (int w = 1; w < nworkers; ++w)
+                threads.emplace_back([&, w] {
+                    for (size_t c = static_cast<size_t>(w); c < ncomp;
+                         c += static_cast<size_t>(nworkers))
+                        route_comp(c, *scratch_[static_cast<size_t>(w)],
+                                   blocked, proposals_[c]);
+                });
+            for (size_t c = 0; c < ncomp;
+                 c += static_cast<size_t>(nworkers))
+                route_comp(c, *scratch_[0], blocked, proposals_[c]);
+            for (std::thread &t : threads)
+                t.join();
         }
-        for (VertexId v : path->vertices)
-            unavailable_[static_cast<size_t>(v)] = 1;
-        outcome.routed.emplace_back(idx, std::move(*path));
-    };
 
-    for (size_t idx : residual_)
-        try_route(idx);
-
-    // Stage 4: pop the stack LIFO.
-    while (!stack_.empty()) {
-        const size_t idx = stack_.back();
-        stack_.pop_back();
-        try_route(idx);
+        // Merge in ascending component order. Proposals avoided the
+        // base mask but not each other; when a later component's path
+        // crosses an accepted claim, re-route that whole component
+        // against base + claims (still deterministic: the merge order
+        // and accumulated mask never depend on the worker count).
+        merged_.assignWords(blocked.words(), blocked.size());
+        claimed_.assign(blocked.size(), false);
+        for (size_t c = 0; c < ncomp; ++c) {
+            RoutingOutcome &p = proposals_[c];
+            bool conflict = false;
+            for (const auto &rp : p.routed) {
+                for (const VertexId v : rp.second.vertices)
+                    if (claimed_[v]) {
+                        conflict = true;
+                        break;
+                    }
+                if (conflict)
+                    break;
+            }
+            if (conflict) {
+                AUTOBRAID_COUNT("route.merge_repairs");
+                route_comp(c, *scratch_[0], BlockedMask(merged_), p);
+            }
+            for (auto &rp : p.routed) {
+                for (const VertexId v : rp.second.vertices) {
+                    claimed_.set(static_cast<size_t>(v));
+                    merged_.set(static_cast<size_t>(v));
+                }
+                outcome.routed.push_back(std::move(rp));
+            }
+            for (const size_t idx : p.failed)
+                outcome.failed.push_back(idx);
+        }
     }
 
     outcome.ratio = static_cast<double>(outcome.routed.size()) /

@@ -17,6 +17,21 @@
  * nested case of Theorem 2 (the enclosing, largest-area gate is routed
  * last).
  *
+ * Connected components of the interference graph are natural
+ * independent units: the peel is degree-local, so the stack discipline
+ * applied to each component separately equals the global discipline
+ * restricted to that component. The finder therefore routes each
+ * component against the caller's base blocked mask (a pure function of
+ * the component and the mask, so components may run on worker threads)
+ * and merges the proposals in ascending component order. Paths may
+ * stray outside their component's bounding boxes, so a later
+ * component's proposal can collide with an earlier one's claims; the
+ * merge detects that and re-routes the whole component against the
+ * accumulated mask on the merging thread. Everything that affects the
+ * result — component order, per-component routing, merge repair — is
+ * independent of the worker count, so any `jobs` value produces
+ * byte-identical outcomes.
+ *
  * All scratch state — the interference graph, the peel stack, and the
  * claimed-vertex mask merged with the caller's blocked mask — persists
  * across findPaths() calls, so the scheduler's routing inner loop is
@@ -26,6 +41,7 @@
 #ifndef AUTOBRAID_ROUTE_STACK_FINDER_HPP
 #define AUTOBRAID_ROUTE_STACK_FINDER_HPP
 
+#include <memory>
 #include <vector>
 
 #include "route/astar.hpp"
@@ -54,8 +70,8 @@ class PathFinder
 
     /**
      * Route @p tasks simultaneously. Paths must be vertex-disjoint with
-     * each other and avoid externally @p blocked vertices (one byte per
-     * grid vertex, non-zero = unavailable).
+     * each other and avoid externally @p blocked vertices (one bit per
+     * grid vertex, set = unavailable).
      */
     virtual RoutingOutcome findPaths(const std::vector<CxTask> &tasks,
                                      BlockedMask blocked) = 0;
@@ -68,7 +84,13 @@ class PathFinder
 class StackPathFinder : public PathFinder
 {
   public:
-    explicit StackPathFinder(const Grid &grid);
+    /**
+     * @param grid the routing lattice
+     * @param jobs worker threads for component-parallel routing; 1 =
+     *        route every component on the calling thread. The outcome
+     *        is byte-identical for every value.
+     */
+    explicit StackPathFinder(const Grid &grid, int jobs = 1);
 
     RoutingOutcome findPaths(const std::vector<CxTask> &tasks,
                              BlockedMask blocked) override;
@@ -76,15 +98,48 @@ class StackPathFinder : public PathFinder
     const char *name() const override { return "stack"; }
 
   private:
-    AStarRouter router_;
+    /** Per-thread routing scratch (router + peel + claim buffers). */
+    struct RouteScratch
+    {
+        explicit RouteScratch(const Grid &grid) : router(grid) {}
+
+        AStarRouter router;
+        InterferenceGraph ig;
+        std::vector<size_t> stack;
+        std::vector<size_t> residual;
+        /** Base mask merged with vertices claimed so far. */
+        BlockedBitset unavailable;
+        /** Component's tasks, ascending global task index. */
+        std::vector<CxTask> comp_tasks;
+        /** Global task index per local task. */
+        std::vector<size_t> comp_index;
+    };
+
+    /**
+     * Peel + route @p tasks (whose interference graph @p ig is already
+     * built) against @p blocked using scratch @p s, appending results
+     * to @p out. @p global_index maps local task index to the caller's
+     * task index (nullptr = identity).
+     */
+    static void runStack(const std::vector<CxTask> &tasks,
+                         const std::vector<size_t> *global_index,
+                         BlockedMask blocked, InterferenceGraph &ig,
+                         RouteScratch &s, RoutingOutcome &out);
+
+    const Grid *grid_;
+    int jobs_ = 1;
 
     // Persistent per-instant scratch, reused across findPaths calls.
     InterferenceGraph ig_;
-    std::vector<size_t> stack_;
-    std::vector<size_t> ties_;
-    std::vector<size_t> residual_;
-    /** Caller's blocked mask merged with vertices claimed this call. */
-    std::vector<uint8_t> unavailable_;
+    std::vector<size_t> comp_id_;
+    std::vector<std::vector<size_t>> comp_members_;
+    std::vector<RoutingOutcome> proposals_;
+    /** Base mask merged with all accepted claims (merge phase). */
+    BlockedBitset merged_;
+    /** Vertices claimed by accepted proposals only (conflict test). */
+    BlockedBitset claimed_;
+    /** scratch_[0] serves the calling thread; one more per worker. */
+    std::vector<std::unique_ptr<RouteScratch>> scratch_;
 };
 
 } // namespace autobraid

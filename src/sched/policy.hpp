@@ -97,6 +97,16 @@ struct SchedulerConfig
      */
     Cycles channel_hold_cycles = 0;
 
+    /**
+     * Worker threads for component-parallel routing: independent
+     * interference-graph components of one dispatch instant route
+     * concurrently in the stack finder. Any value >= 1 produces
+     * byte-identical schedules — the component order, per-component
+     * routing, and merge are worker-count-independent — so this is
+     * purely a wall-clock knob.
+     */
+    int route_jobs = 1;
+
     /** Record a full TraceEntry log in the result (tests, debugging). */
     bool record_trace = false;
 

@@ -24,7 +24,8 @@ class BraidResourceModel final : public ResourceModel
     {
         if (maslov_mode ||
             config.policy != SchedulerPolicy::Baseline) {
-            finder_ = std::make_unique<StackPathFinder>(grid);
+            finder_ = std::make_unique<StackPathFinder>(
+                grid, config.route_jobs);
         } else {
             // With lattice defects the fixed NW corner may be dead, so
             // the baseline falls back to all-corner endpoints.

@@ -47,16 +47,17 @@ class Engine
           level_sync_(!maslov_mode &&
                       config.policy == SchedulerPolicy::Baseline),
           in_level_(circuit.size(), 0),
-          dead_(static_cast<size_t>(grid.numVertices()), 0)
+          dead_(static_cast<size_t>(grid.numVertices()))
     {
         for (VertexId v : config.dead_vertices) {
             require(v >= 0 && v < grid.numVertices(),
                     "dead vertex out of range");
-            dead_[static_cast<size_t>(v)] = 1;
+            dead_.set(static_cast<size_t>(v));
         }
         blocked_mask_ = dead_;
-        routable_vertices_ = static_cast<size_t>(
-            std::count(dead_.begin(), dead_.end(), uint8_t{0}));
+        routable_vertices_ =
+            static_cast<size_t>(grid.numVertices()) -
+            dead_.countSet();
         model_ = makeResourceModel(grid, config, maslov_mode);
         result_.backend = backend_;
         if (config.record_lifecycle) {
@@ -109,6 +110,25 @@ class Engine
             }
         }
         result_.makespan = makespan_;
+        // Clamp channel accrual to the schedule window [0, makespan]:
+        // a hold issued shortly before the final retirement can extend
+        // past it (vertex_cycles_ accrues the full hold at issue
+        // time), which would inflate the numerator beyond
+        // makespan * routable_vertices and break the 0<=avg<=peak<=1
+        // oracle. Per-vertex reservations never overlap, so only the
+        // last one can overhang and the excess is exactly
+        // releaseTime - makespan. The recorder heatmap gets the same
+        // trim so heatmap-sum == busy-cycles stays exact.
+        for (VertexId v = 0; v < grid_->numVertices(); ++v) {
+            const Cycles release = occ_.releaseTime(v);
+            if (release <= makespan_)
+                continue;
+            const Cycles excess = release - makespan_;
+            vertex_cycles_ -= static_cast<double>(excess);
+            if (recorder_)
+                recorder_->trimVertexBusy(
+                    v, static_cast<uint64_t>(excess));
+        }
         // Utilization is over the routable fabric: dead vertices can
         // never carry a braid, so they do not belong in the denominator.
         if (makespan_ > 0 && routable_vertices_ > 0)
@@ -181,20 +201,27 @@ class Engine
     const bool level_sync_;
     std::vector<uint8_t> in_level_;
     size_t level_remaining_ = 0;
-    std::vector<uint8_t> dead_;
+    BlockedBitset dead_;
 
     /**
-     * One byte per vertex: dead or reserved by an in-flight braid at
+     * One bit per vertex: dead or reserved by an in-flight braid at
      * the current instant. Maintained incrementally — set on reserve,
-     * cleared from the occupancy's expiry list on time advance — so the
-     * routing hot path reads a flat byte instead of calling a closure.
+     * cleared from the occupancy's expiry list on time advance — so
+     * the routing hot path reads packed words and whole-mask copies
+     * are word-wise.
      */
-    std::vector<uint8_t> blocked_mask_;
+    BlockedBitset blocked_mask_;
     size_t routable_vertices_ = 0;
 
     // Reused per-instant scratch (allocation-free dispatch loop).
     std::vector<GateIdx> braid_gates_;
     std::vector<GateIdx> local_snapshot_;
+    std::vector<CxTask> task_scratch_;
+    std::vector<CxTask> failed_tasks_;
+    std::vector<uint8_t> movable_;
+    std::vector<GateIdx> adjacent_;
+    std::vector<uint8_t> excluded_;
+    std::vector<CxTask> swap_tasks_;
 
     std::vector<SwapRecord> swap_records_;
     size_t swaps_in_flight_ = 0;
@@ -292,8 +319,8 @@ class Engine
             // reservations that ended by t and unblock their vertices.
             AUTOBRAID_SPAN("route.mask_build");
             for (VertexId v : occ_.advanceTo(t))
-                if (!dead_[static_cast<size_t>(v)])
-                    blocked_mask_[static_cast<size_t>(v)] = 0;
+                if (!dead_[v])
+                    blocked_mask_.clear(static_cast<size_t>(v));
         }
         if (recorder_) {
             // New ready gates only ever surface at dispatch instants
@@ -440,13 +467,18 @@ class Engine
     reserveChannel(Cycles t, const Path &path, Cycles until)
     {
         occ_.reserve(path.vertices, until);
+        // Empty windows hold nothing: return before the recorder hook
+        // so a zero-length hold can never be recorded without also
+        // blocking its vertices (the recorder additionally no-ops on
+        // empty windows, keeping heatmap-sum == busy-cycles either
+        // way).
+        if (until <= t)
+            return;
         if (recorder_)
             recorder_->onRegionHeld(path.vertices.data(),
                                     path.vertices.size(), t, until);
-        if (until <= t)
-            return;
         for (VertexId v : path.vertices)
-            blocked_mask_[static_cast<size_t>(v)] = 1;
+            blocked_mask_.set(static_cast<size_t>(v));
     }
 
     /** Issue one two-qubit gate on its acquired region. */
@@ -495,22 +527,25 @@ class Engine
                 TraceEntry{kNoGate, t, t + dur, path, t + dur, a, b});
     }
 
-    /** Build routing tasks with criticality priorities filled in. */
-    std::vector<CxTask>
-    makeTasks(const std::vector<GateIdx> &gates) const
+    /**
+     * Build routing tasks with criticality priorities filled in, into
+     * the persistent task_scratch_ buffer (valid until the next call).
+     */
+    const std::vector<CxTask> &
+    makeTasks(const std::vector<GateIdx> &gates)
     {
-        auto tasks = placement_.tasks(*circuit_, gates);
-        for (CxTask &task : tasks)
+        placement_.tasks(*circuit_, gates, task_scratch_);
+        for (CxTask &task : task_scratch_)
             task.priority =
                 static_cast<long>(criticality_[task.gate]);
-        return tasks;
+        return task_scratch_;
     }
 
     /** Standard-mode CX dispatch: path finder + layout optimizer. */
     void
     dispatchBraids(Cycles t, const std::vector<GateIdx> &gates)
     {
-        const auto tasks = makeTasks(gates);
+        const auto &tasks = makeTasks(gates);
         if (recorder_)
             route_fail_cause_ = routeFailCause(occ_.busyCount(t));
         auto outcome =
@@ -534,17 +569,17 @@ class Engine
             return;
         ++result_.layout_invocations;
         AUTOBRAID_COUNT("sched.layout_invocations");
-        std::vector<CxTask> failed_tasks;
-        failed_tasks.reserve(outcome.failed.size());
+        failed_tasks_.clear();
+        failed_tasks_.reserve(outcome.failed.size());
         for (size_t idx : outcome.failed)
-            failed_tasks.push_back(tasks[idx]);
-        std::vector<uint8_t> movable(
-            static_cast<size_t>(circuit_->numQubits()), 0);
+            failed_tasks_.push_back(tasks[idx]);
+        movable_.assign(static_cast<size_t>(circuit_->numQubits()),
+                        0);
         for (Qubit q = 0; q < circuit_->numQubits(); ++q)
-            movable[static_cast<size_t>(q)] = qubitFree(q, t) ? 1 : 0;
+            movable_[static_cast<size_t>(q)] = qubitFree(q, t) ? 1 : 0;
         const auto plan =
-            optimizer_.propose(failed_tasks, placement_,
-                               BlockedMask(blocked_mask_), movable);
+            optimizer_.propose(failed_tasks_, placement_,
+                               BlockedMask(blocked_mask_), movable_);
         for (const PlannedSwap &s : plan)
             issueSwap(t, s.a, s.b, s.path);
     }
@@ -556,20 +591,20 @@ class Engine
         if (recorder_)
             route_fail_cause_ = routeFailCause(occ_.busyCount(t));
         // Execute ready CX gates whose tiles are grid neighbours.
-        std::vector<GateIdx> adjacent;
+        adjacent_.clear();
         for (GateIdx g : gates) {
             const Gate &gate = circuit_->gate(g);
             if (placement_.cellOf(gate.q0)
                     .dist(placement_.cellOf(gate.q1)) == 1)
-                adjacent.push_back(g);
+                adjacent_.push_back(g);
         }
         size_t issued = 0;
-        if (!adjacent.empty()) {
-            const auto tasks = makeTasks(adjacent);
+        if (!adjacent_.empty()) {
+            const auto &tasks = makeTasks(adjacent_);
             auto outcome =
                 model_->acquire(tasks, BlockedMask(blocked_mask_));
             for (const auto &[idx, path] : outcome.routed)
-                issueBraid(t, adjacent[idx], path);
+                issueBraid(t, adjacent_[idx], path);
             issued = outcome.routed.size();
         }
         if (issued > 0)
@@ -585,22 +620,22 @@ class Engine
         if (!stalled)
             return;
         ++phases_without_execution_;
-        std::vector<uint8_t> excluded(
-            static_cast<size_t>(circuit_->numQubits()), 0);
+        excluded_.assign(static_cast<size_t>(circuit_->numQubits()),
+                         0);
         for (Qubit q = 0; q < circuit_->numQubits(); ++q)
-            excluded[static_cast<size_t>(q)] =
+            excluded_[static_cast<size_t>(q)] =
                 qubitFree(q, t) ? 0 : 1;
         const auto pairs =
-            network_.phasePairs(parity_, placement_, excluded);
+            network_.phasePairs(parity_, placement_, excluded_);
         parity_ ^= 1;
-        std::vector<CxTask> swap_tasks;
-        swap_tasks.reserve(pairs.size());
+        swap_tasks_.clear();
+        swap_tasks_.reserve(pairs.size());
         for (size_t i = 0; i < pairs.size(); ++i)
-            swap_tasks.push_back(
+            swap_tasks_.push_back(
                 CxTask::make(i, placement_.cellOf(pairs[i].first),
                              placement_.cellOf(pairs[i].second)));
         auto outcome =
-            model_->acquire(swap_tasks, BlockedMask(blocked_mask_));
+            model_->acquire(swap_tasks_, BlockedMask(blocked_mask_));
         for (const auto &[idx, path] : outcome.routed)
             issueSwap(t, pairs[idx].first, pairs[idx].second, path);
     }

@@ -14,13 +14,13 @@ LatticeSurgeryResourceModel::LatticeSurgeryResourceModel(
     : grid_(&grid),
       cost_(cost),
       router_(grid),
-      dead_(static_cast<size_t>(grid.numVertices()), 0),
+      dead_(static_cast<size_t>(grid.numVertices())),
       in_region_(static_cast<size_t>(grid.numVertices()), 0)
 {
     for (VertexId v : dead_vertices) {
         require(v >= 0 && v < grid.numVertices(),
                 "LatticeSurgeryResourceModel: dead vertex out of range");
-        dead_[static_cast<size_t>(v)] = 1;
+        dead_.set(static_cast<size_t>(v));
     }
 }
 
@@ -40,7 +40,7 @@ LatticeSurgeryResourceModel::liveCornerMask(const Cell &cell) const
     const auto ids = grid_->cornerIds(cell);
     unsigned mask = 0;
     for (size_t i = 0; i < ids.size(); ++i)
-        if (!dead_[static_cast<size_t>(ids[i])])
+        if (!dead_.test(static_cast<size_t>(ids[i])))
             mask |= 1u << i;
     return mask;
 }
@@ -57,7 +57,7 @@ LatticeSurgeryResourceModel::buildRegion(const CxTask &task, Path &out)
     for (const auto &corners : {corners_a, corners_b})
         for (VertexId v : corners) {
             const auto vi = static_cast<size_t>(v);
-            if (!dead_[vi] && unavailable_[vi])
+            if (!dead_.test(vi) && unavailable_.test(vi))
                 return false;
         }
 
@@ -85,7 +85,7 @@ LatticeSurgeryResourceModel::buildRegion(const CxTask &task, Path &out)
     for (const auto &corners : {corners_a, corners_b})
         for (VertexId v : corners) {
             const auto vi = static_cast<size_t>(v);
-            if (dead_[vi] || in_region_[vi])
+            if (dead_.test(vi) || in_region_[vi])
                 continue;
             in_region_[vi] = 1;
             extras[num_extras++] = v;
@@ -108,8 +108,10 @@ LatticeSurgeryResourceModel::acquire(const std::vector<CxTask> &tasks,
     RoutingOutcome outcome;
     if (tasks.empty())
         return outcome;
-    unavailable_.assign(blocked.data(),
-                        blocked.data() + blocked.size());
+    unavailable_.assignWords(blocked.words(), blocked.size());
+    // Claims only ever add blocked vertices within this call, so
+    // failed bus floods can be cached for the rest of it.
+    router_.beginMaskEpoch();
 
     // Most-critical merges first; index breaks ties deterministically.
     order_.resize(tasks.size());
@@ -129,7 +131,7 @@ LatticeSurgeryResourceModel::acquire(const std::vector<CxTask> &tasks,
             continue;
         }
         for (VertexId v : region.vertices)
-            unavailable_[static_cast<size_t>(v)] = 1;
+            unavailable_.set(static_cast<size_t>(v));
         outcome.routed.emplace_back(idx, region);
     }
     std::sort(outcome.failed.begin(), outcome.failed.end());

@@ -55,11 +55,11 @@ class LatticeSurgeryResourceModel final : public ResourceModel
     const Grid *grid_;
     const CostModel cost_;
     AStarRouter router_;
-    std::vector<uint8_t> dead_;
+    BlockedBitset dead_;
 
     // Persistent scratch reused across acquire() calls, mirroring
     // StackPathFinder's allocation-free inner loop.
-    std::vector<uint8_t> unavailable_;
+    BlockedBitset unavailable_;
     std::vector<size_t> order_;
     std::vector<uint8_t> in_region_;
     std::vector<VertexId> region_;

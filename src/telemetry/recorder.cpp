@@ -124,6 +124,18 @@ FlightRecorder::onRegionHeld(const int32_t *vertices, size_t count,
     }
 }
 
+void
+FlightRecorder::trimVertexBusy(int32_t v, uint64_t excess)
+{
+    if (v < 0 ||
+        static_cast<size_t>(v) >=
+            recording_.vertex_busy_cycles.size())
+        return;
+    uint64_t &cell =
+        recording_.vertex_busy_cycles[static_cast<size_t>(v)];
+    cell -= excess > cell ? cell : excess;
+}
+
 FlightRecording
 FlightRecorder::finish(uint64_t makespan)
 {

@@ -202,6 +202,15 @@ class FlightRecorder
     void onRegionHeld(const int32_t *vertices, size_t count,
                       uint64_t from, uint64_t until);
 
+    /**
+     * Subtract @p excess cycles from vertex @p v's heatmap entry.
+     * The scheduler clamps end-of-run channel overhang (holds that
+     * extend past the final retirement) out of its busy-cycle
+     * numerator and mirrors the trim here, so the heatmap sum keeps
+     * matching the clamped busy-cycle total exactly.
+     */
+    void trimVertexBusy(int32_t v, uint64_t excess);
+
     /** Mutable static gate facts (prefill q0/q1/kind). */
     GateRecord &gate(uint64_t g) { return recording_.gates[g]; }
 

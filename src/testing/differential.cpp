@@ -1,5 +1,6 @@
 #include "testing/differential.hpp"
 
+#include <algorithm>
 #include <exception>
 
 #include "analysis/lint.hpp"
@@ -229,11 +230,18 @@ checkRecorderLifecycle(const FuzzCase &c, const char *name,
                 static_cast<unsigned long long>(gr.stallTotal()),
                 static_cast<unsigned long long>(waited)));
     }
-    // Heatmap accounting against the trace (recorded alongside).
+    // Heatmap accounting against the trace (recorded alongside). Holds
+    // are clamped to the schedule window: a channel release past the
+    // makespan (teleport-style early-dispatch holds) is trimmed by the
+    // scheduler's utilization accounting, mirrored in the heatmap.
     uint64_t expected = 0;
-    for (const TraceEntry &e : r.trace)
-        expected += static_cast<uint64_t>(e.path.length()) *
-                    (e.channel_release - e.start);
+    for (const TraceEntry &e : r.trace) {
+        const Cycles end = std::min(e.channel_release, r.makespan);
+        if (end <= e.start)
+            continue;
+        expected +=
+            static_cast<uint64_t>(e.path.length()) * (end - e.start);
+    }
     if (rec.heatmapSum() != expected)
         fail(strformat(
             "heatmap sum %llu != trace busy cycles %llu",
@@ -433,6 +441,81 @@ checkBatchDeterminism(const FuzzCase &c, unsigned mask, int threads)
                 "%s",
                 serial[i].label.c_str(), threads,
                 c.summary().c_str()));
+    }
+    return failures;
+}
+
+std::vector<std::string>
+checkRouteJobsDeterminism(const FuzzCase &c, unsigned mask, int jobs)
+{
+    AUTOBRAID_SPAN("fuzz.route_jobs_determinism");
+    std::vector<std::string> failures;
+    for (const MaskedPolicy &p : kPolicies) {
+        if (!(mask & p.bit))
+            continue;
+        auto runOne = [&](int route_jobs, CompileReport &report,
+                          std::string &error) {
+            CompileOptions opt = c.options;
+            opt.policy = p.policy;
+            opt.record_trace = true;
+            opt.record_lifecycle = true;
+            opt.route_jobs = route_jobs;
+            try {
+                report = compileCircuit(c.circuit, opt);
+                return true;
+            } catch (const std::exception &e) {
+                error = e.what();
+                return false;
+            }
+        };
+        CompileReport serial, parallel;
+        std::string serial_err, parallel_err;
+        const bool serial_ok = runOne(1, serial, serial_err);
+        const bool parallel_ok = runOne(jobs, parallel, parallel_err);
+        auto mismatch = [&](const std::string &what) {
+            failures.push_back(strformat(
+                "[%s] route_jobs=1 vs route_jobs=%d: %s — %s",
+                policyName(p.policy), jobs, what.c_str(),
+                c.summary().c_str()));
+        };
+        if (serial_ok != parallel_ok) {
+            mismatch(strformat(
+                "ok=%d vs ok=%d (%s)", serial_ok ? 1 : 0,
+                parallel_ok ? 1 : 0,
+                (serial_ok ? parallel_err : serial_err).c_str()));
+            continue;
+        }
+        if (!serial_ok) // same failure either way: deterministic
+            continue;
+        const ScheduleResult &a = serial.result;
+        const ScheduleResult &b = parallel.result;
+        if (a.makespan != b.makespan) {
+            mismatch(strformat(
+                "makespan %llu vs %llu",
+                static_cast<unsigned long long>(a.makespan),
+                static_cast<unsigned long long>(b.makespan)));
+            continue;
+        }
+        if (a.trace.size() != b.trace.size()) {
+            mismatch(strformat("trace length %zu vs %zu",
+                               a.trace.size(), b.trace.size()));
+            continue;
+        }
+        for (size_t i = 0; i < a.trace.size(); ++i) {
+            const TraceEntry &x = a.trace[i];
+            const TraceEntry &y = b.trace[i];
+            if (x.gate != y.gate || x.start != y.start ||
+                x.finish != y.finish ||
+                x.channel_release != y.channel_release ||
+                x.swap_a != y.swap_a || x.swap_b != y.swap_b ||
+                x.path.vertices != y.path.vertices) {
+                mismatch(strformat("trace entry %zu diverges", i));
+                break;
+            }
+        }
+        if (a.recording && b.recording &&
+            a.recording->toJson() != b.recording->toJson())
+            mismatch("flight recordings diverge");
     }
     return failures;
 }

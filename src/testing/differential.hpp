@@ -115,6 +115,20 @@ std::vector<std::string> checkBatchDeterminism(const FuzzCase &c,
                                                int threads = 4);
 
 /**
+ * Compile the case's policy variants with route_jobs = 1 and with
+ * route_jobs = @p jobs (trace and lifecycle recording on) and return
+ * any schedule mismatches. Component-parallel routing promises
+ * byte-identical schedules for every worker count, so the makespan,
+ * the full trace (including routed paths), and the flight-recording
+ * JSON must all agree exactly. Empty = deterministic. Note the
+ * comparison is on schedules, not metricsSummary(): telemetry sinks
+ * are thread-local, so worker-thread metrics intentionally differ.
+ */
+std::vector<std::string>
+checkRouteJobsDeterminism(const FuzzCase &c, unsigned mask = kMaskAll,
+                          int jobs = 8);
+
+/**
  * Degenerate-lattice case: drive BraidScheduler directly on strip
  * grids (1xN / Nx1) that Grid::forQubits never produces, with chain
  * traffic and an identity placement, validating each policy's trace

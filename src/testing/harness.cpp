@@ -13,10 +13,11 @@ std::string
 FuzzSummary::toString() const
 {
     std::string out = strformat(
-        "fuzz: %d cases, %d degenerate, %d batch checks, %zu failing "
-        "seeds in %.1fs%s",
-        cases, degenerate_cases, batch_checks, failures.size(),
-        seconds, budget_exhausted ? " (budget exhausted)" : "");
+        "fuzz: %d cases, %d degenerate, %d batch checks, %d "
+        "route-jobs checks, %zu failing seeds in %.1fs%s",
+        cases, degenerate_cases, batch_checks, route_jobs_checks,
+        failures.size(), seconds,
+        budget_exhausted ? " (budget exhausted)" : "");
     if (cross_backend_checks > 0)
         out += strformat(
             "\ncross-backend: %d checks, surgery/braiding makespan "
@@ -96,6 +97,14 @@ runFuzz(const FuzzOptions &opt)
             ++summary.batch_checks;
             diff.failures.insert(diff.failures.end(), batch.begin(),
                                  batch.end());
+            diff.ok = diff.failures.empty();
+        }
+        if (diff.ok && opt.route_jobs_stride > 0 &&
+            i % opt.route_jobs_stride == 0) {
+            auto jobs = checkRouteJobsDeterminism(c, opt.policy_mask);
+            ++summary.route_jobs_checks;
+            diff.failures.insert(diff.failures.end(), jobs.begin(),
+                                 jobs.end());
             diff.ok = diff.failures.empty();
         }
         if (diff.ok && opt.cross_backend_stride > 0 &&

@@ -37,6 +37,13 @@ struct FuzzOptions
     int degenerate_stride = 16; ///< strip-grid case every Nth seed (0=off)
 
     /**
+     * Route-jobs determinism every Nth case (0 = off): compile with
+     * route_jobs 1 and 8 and require byte-identical schedules
+     * (component-parallel routing's core contract).
+     */
+    int route_jobs_stride = 8;
+
+    /**
      * Cross-backend comparison every Nth case (0 = off): compile under
      * both backends, validate each, and record the makespan pair for
      * reporting (never asserted equal).
@@ -63,6 +70,7 @@ struct FuzzSummary
     int cases = 0;             ///< differential cases completed
     int degenerate_cases = 0;
     int batch_checks = 0;
+    int route_jobs_checks = 0;
 
     /** Cross-backend comparisons with both makespans available. */
     int cross_backend_checks = 0;

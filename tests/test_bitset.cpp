@@ -1,0 +1,171 @@
+/**
+ * @file
+ * BlockedBitset unit and property tests.
+ *
+ * The packed word mask must behave exactly like the byte-vector mask
+ * it replaced. The randomized test drives a bitset and a
+ * std::vector<uint8_t> reference through the same churn of set/clear/
+ * bulk operations — modelled on the scheduler's reserve/expire/defect
+ * traffic — and checks every accessor against the reference after
+ * each step, including the word-wise range scan against a linear scan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "route/astar.hpp"
+#include "route/blocked_bitset.hpp"
+
+namespace autobraid {
+namespace {
+
+TEST(BlockedBitset, BasicSetClearTest)
+{
+    BlockedBitset bits(130); // deliberately not word-aligned
+    EXPECT_EQ(bits.size(), 130u);
+    EXPECT_EQ(bits.countSet(), 0u);
+    for (size_t i = 0; i < bits.size(); ++i)
+        EXPECT_FALSE(bits.test(i));
+
+    bits.set(0);
+    bits.set(63);
+    bits.set(64);
+    bits.set(129);
+    EXPECT_EQ(bits.countSet(), 4u);
+    EXPECT_TRUE(bits.test(0));
+    EXPECT_TRUE(bits.test(63));
+    EXPECT_TRUE(bits.test(64));
+    EXPECT_TRUE(bits.test(129));
+    EXPECT_FALSE(bits.test(1));
+    EXPECT_FALSE(bits.test(128));
+
+    bits.clear(63);
+    EXPECT_FALSE(bits.test(63));
+    EXPECT_EQ(bits.countSet(), 3u);
+
+    bits.clearAll();
+    EXPECT_EQ(bits.countSet(), 0u);
+    for (size_t w = 0; w < bits.numWords(); ++w)
+        EXPECT_EQ(bits.words()[w], 0u);
+}
+
+TEST(BlockedBitset, TailBitsStayZero)
+{
+    // Whole-word scans rely on the bits past size() being zero.
+    BlockedBitset bits(70, true);
+    EXPECT_EQ(bits.countSet(), 70u);
+    EXPECT_EQ(bits.words()[1] >> (70 - 64), 0u);
+
+    BlockedBitset other(70);
+    other.set(69);
+    other.orWith(bits);
+    EXPECT_EQ(other.countSet(), 70u);
+    EXPECT_EQ(other.words()[1] >> (70 - 64), 0u);
+}
+
+TEST(BlockedBitset, AnySetInRangeEdges)
+{
+    BlockedBitset bits(256);
+    EXPECT_FALSE(bits.anySetInRange(0, 256));
+    EXPECT_FALSE(bits.anySetInRange(10, 10)); // empty range
+
+    bits.set(128); // first bit of word 2
+    EXPECT_TRUE(bits.anySetInRange(0, 256));
+    EXPECT_TRUE(bits.anySetInRange(128, 129));
+    EXPECT_FALSE(bits.anySetInRange(0, 128));
+    EXPECT_FALSE(bits.anySetInRange(129, 256));
+    EXPECT_TRUE(bits.anySetInRange(127, 129)); // straddles the word
+
+    bits.clearAll();
+    bits.set(63); // last bit of word 0
+    EXPECT_TRUE(bits.anySetInRange(63, 64));
+    EXPECT_FALSE(bits.anySetInRange(0, 63));
+    EXPECT_FALSE(bits.anySetInRange(64, 256));
+}
+
+TEST(BlockedBitset, RandomizedAgainstByteMask)
+{
+    Rng rng(0xb175'e7'2026ULL);
+    for (int round = 0; round < 20; ++round) {
+        const size_t n = static_cast<size_t>(rng.intIn(1, 300));
+        BlockedBitset bits(n);
+        std::vector<uint8_t> ref(n, 0);
+
+        for (int step = 0; step < 400; ++step) {
+            const int op = rng.intIn(0, 5);
+            if (op == 0) { // reserve a vertex
+                const size_t i = rng.index(n);
+                bits.set(i);
+                ref[i] = 1;
+            } else if (op == 1) { // expire a reservation
+                const size_t i = rng.index(n);
+                bits.clear(i);
+                ref[i] = 0;
+            } else if (op == 2) { // conditional set (defect refresh)
+                const size_t i = rng.index(n);
+                const bool v = rng.chance(0.5);
+                bits.set(i, v);
+                ref[i] = v ? 1 : 0;
+            } else if (op == 3) { // bulk reset
+                bits.clearAll();
+                std::fill(ref.begin(), ref.end(), uint8_t{0});
+            } else if (op == 4) { // merge another mask
+                BlockedBitset other(n);
+                for (size_t i = 0; i < n; ++i)
+                    if (rng.chance(0.1)) {
+                        other.set(i);
+                        ref[i] = 1;
+                    }
+                bits.orWith(other);
+            } else { // adopt a snapshot (assignWords round-trip)
+                BlockedBitset snap(n);
+                for (size_t i = 0; i < n; ++i)
+                    if (rng.chance(0.3))
+                        snap.set(i);
+                bits.assignWords(snap.words(), snap.size());
+                for (size_t i = 0; i < n; ++i)
+                    ref[i] = snap.test(i) ? 1 : 0;
+            }
+
+            // Full equivalence with the byte-mask reference.
+            size_t ref_count = 0;
+            for (size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(bits.test(i), ref[i] != 0)
+                    << "round " << round << " step " << step
+                    << " bit " << i;
+                ref_count += ref[i];
+            }
+            ASSERT_EQ(bits.countSet(), ref_count);
+
+            // Word-wise range scan vs. linear reference scan.
+            size_t lo = rng.index(n + 1);
+            size_t hi = rng.index(n + 1);
+            if (lo > hi)
+                std::swap(lo, hi);
+            bool any = false;
+            for (size_t i = lo; i < hi; ++i)
+                any = any || ref[i] != 0;
+            ASSERT_EQ(bits.anySetInRange(lo, hi), any)
+                << "range [" << lo << ", " << hi << ")";
+        }
+    }
+}
+
+TEST(BlockedBitset, MaskViewMatchesBitset)
+{
+    Rng rng(0x600d'ca5eULL);
+    BlockedBitset bits(200);
+    for (size_t i = 0; i < bits.size(); ++i)
+        if (rng.chance(0.4))
+            bits.set(i);
+    const BlockedMask mask(bits);
+    for (size_t i = 0; i < bits.size(); ++i)
+        EXPECT_EQ(mask[static_cast<VertexId>(i)], bits.test(i)) << i;
+}
+
+} // namespace
+} // namespace autobraid

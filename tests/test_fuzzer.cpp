@@ -226,10 +226,12 @@ TEST(Harness, SmokeRunIsCleanAndCountsStrides)
     opt.seeds = 6;
     opt.batch_stride = 2;
     opt.degenerate_stride = 3;
+    opt.route_jobs_stride = 3;
     const auto summary = fuzz::runFuzz(opt);
     EXPECT_TRUE(summary.ok()) << summary.toString();
     EXPECT_EQ(summary.cases, 6);
     EXPECT_EQ(summary.batch_checks, 3);     // cases 0, 2, 4
+    EXPECT_EQ(summary.route_jobs_checks, 2); // cases 0, 3
     EXPECT_EQ(summary.degenerate_cases, 2); // cases 0, 3
     EXPECT_FALSE(summary.budget_exhausted);
     EXPECT_NE(summary.toString().find("6 cases"), std::string::npos);

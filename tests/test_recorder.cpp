@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "common/json.hpp"
@@ -85,19 +86,92 @@ TEST_P(RecorderLifecycle, HeatmapMatchesTrace)
     const telemetry::FlightRecording &rec = *report.result.recording;
 
     // Every acquired region shows up in the trace; the heatmap must
-    // account for exactly the same vertex-cycles.
+    // account for exactly the same vertex-cycles. Holds are clamped to
+    // the schedule window (releases past the makespan are trimmed).
     uint64_t trace_vertex_cycles = 0;
     for (const TraceEntry &e : report.result.trace) {
-        if (e.path.empty() || e.channel_release <= e.start)
+        const Cycles end =
+            std::min(e.channel_release, report.result.makespan);
+        if (e.path.empty() || end <= e.start)
             continue;
         trace_vertex_cycles +=
-            static_cast<uint64_t>(e.path.length()) *
-            (e.channel_release - e.start);
+            static_cast<uint64_t>(e.path.length()) * (end - e.start);
     }
     EXPECT_EQ(rec.heatmapSum(), trace_vertex_cycles);
     EXPECT_EQ(rec.vertex_busy_cycles.size(),
               static_cast<size_t>(rec.grid_rows) *
                   static_cast<size_t>(rec.grid_cols));
+}
+
+TEST_P(RecorderLifecycle, ChannelHoldHeatmapMatchesBusyCycles)
+{
+    // Teleport-style early release (channel_hold) is the edge case
+    // for region accounting: holds shorter than the CX window, holds
+    // clamped to the gate duration, and the degenerate hold that the
+    // scheduler must not record at all (until <= t would be an empty
+    // window). The heatmap must still reconcile exactly with the
+    // clamped trace under both backends.
+    for (const Cycles hold : {Cycles{1}, Cycles{3}, Cycles{100000}}) {
+        CompileOptions opt;
+        opt.backend = GetParam();
+        opt.record_trace = true;
+        opt.record_lifecycle = true;
+        opt.channel_hold_cycles = hold;
+        const CompileReport report =
+            compilePipeline(gen::make("qft:8"), opt);
+        const ScheduleResult &r = report.result;
+        ASSERT_NE(r.recording, nullptr) << hold;
+        uint64_t busy = 0;
+        for (const TraceEntry &e : r.trace) {
+            const Cycles end = std::min(e.channel_release, r.makespan);
+            if (end <= e.start)
+                continue;
+            busy += static_cast<uint64_t>(e.path.length()) *
+                    (end - e.start);
+        }
+        EXPECT_EQ(r.recording->heatmapSum(), busy) << hold;
+    }
+}
+
+TEST_P(RecorderLifecycle, UtilizationClampedToScheduleWindow)
+{
+    // Regression pin for the utilization numerator: busy vertex-cycles
+    // accrue at dispatch time, so a hold that outlives the schedule
+    // window must be trimmed back to the makespan — otherwise avg can
+    // exceed peak (or even 1.0). The average must be recomputable from
+    // the trace with every release clamped to the makespan.
+    for (const Cycles hold : {Cycles{0}, Cycles{1}, Cycles{4}}) {
+        CompileOptions opt;
+        opt.backend = GetParam();
+        opt.record_trace = true;
+        opt.record_lifecycle = true;
+        opt.channel_hold_cycles = hold;
+        const CompileReport report =
+            compilePipeline(gen::make("ghz:6"), opt);
+        const ScheduleResult &r = report.result;
+        ASSERT_NE(r.recording, nullptr) << hold;
+        EXPECT_GE(r.avg_utilization, 0.0) << hold;
+        EXPECT_LE(r.avg_utilization, r.peak_utilization) << hold;
+        EXPECT_LE(r.peak_utilization, 1.0) << hold;
+
+        uint64_t busy = 0;
+        for (const TraceEntry &e : r.trace) {
+            const Cycles end = std::min(e.channel_release, r.makespan);
+            if (end <= e.start)
+                continue;
+            busy += static_cast<uint64_t>(e.path.length()) *
+                    (end - e.start);
+        }
+        const double routable =
+            static_cast<double>(r.recording->grid_rows) *
+            static_cast<double>(r.recording->grid_cols);
+        ASSERT_GT(r.makespan, 0u) << hold;
+        EXPECT_NEAR(r.avg_utilization,
+                    static_cast<double>(busy) /
+                        (static_cast<double>(r.makespan) * routable),
+                    1e-9)
+            << hold;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -154,6 +228,25 @@ TEST(Recorder, JsonRoundTripsThroughReader)
     ASSERT_NE(doc.find("vertex_busy_cycles"), nullptr);
     EXPECT_EQ(doc.find("vertex_busy_cycles")->asArray().size(),
               rec.vertex_busy_cycles.size());
+}
+
+TEST(Recorder, TrimVertexBusyMirrorsUtilizationClamp)
+{
+    telemetry::FlightRecorder recorder(0, 4);
+    const int32_t vs[] = {1, 3};
+    recorder.onRegionHeld(vs, 2, 10, 20);
+
+    recorder.trimVertexBusy(1, 4);    // partial trim
+    recorder.trimVertexBusy(3, 100);  // larger than the cell: clamps
+    recorder.trimVertexBusy(2, 5);    // untouched vertex stays zero
+    recorder.trimVertexBusy(-1, 5);   // out of range: ignored
+    recorder.trimVertexBusy(99, 5);   // out of range: ignored
+
+    const telemetry::FlightRecording rec = recorder.finish(20);
+    EXPECT_EQ(rec.vertex_busy_cycles[1], 6u);
+    EXPECT_EQ(rec.vertex_busy_cycles[2], 0u);
+    EXPECT_EQ(rec.vertex_busy_cycles[3], 0u);
+    EXPECT_EQ(rec.heatmapSum(), 6u);
 }
 
 TEST(Recorder, UnitLifecycleAndAttribution)

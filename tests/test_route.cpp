@@ -23,7 +23,7 @@ namespace autobraid {
 namespace {
 
 /** All-free blocked mask for @p g (the old always-false predicate). */
-std::vector<uint8_t>
+BlockedBitset
 freeMask(const Grid &g)
 {
     return noBlockedVertices(g);
@@ -389,8 +389,8 @@ TEST(StackFinder, RespectsExternalBlocking)
     StackPathFinder finder(g);
     std::vector<CxTask> tasks{CxTask::make(0, Cell{0, 0}, Cell{0, 2})};
     // Block everything: no route possible.
-    const std::vector<uint8_t> all_blocked(
-        static_cast<size_t>(g.numVertices()), 1);
+    const BlockedBitset all_blocked(
+        static_cast<size_t>(g.numVertices()), true);
     const auto outcome = finder.findPaths(tasks, all_blocked);
     EXPECT_TRUE(outcome.routed.empty());
     EXPECT_EQ(outcome.failed.size(), 1u);
@@ -423,6 +423,88 @@ TEST(StackFinder, ManyParallelNeighbours)
                                          Cell{r, c + 1}));
     StackPathFinder finder(g);
     expectDisjointComplete(finder.findPaths(tasks, freeMask(g)), tasks, g);
+}
+
+/** Assert two outcomes are byte-identical (order, paths, failures). */
+void
+expectSameOutcome(const RoutingOutcome &a, const RoutingOutcome &b)
+{
+    ASSERT_EQ(a.routed.size(), b.routed.size());
+    for (size_t i = 0; i < a.routed.size(); ++i) {
+        EXPECT_EQ(a.routed[i].first, b.routed[i].first) << i;
+        EXPECT_EQ(a.routed[i].second.vertices,
+                  b.routed[i].second.vertices)
+            << i;
+    }
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_DOUBLE_EQ(a.ratio, b.ratio);
+}
+
+TEST(StackFinder, RouteJobsProduceIdenticalOutcomes)
+{
+    // The component-parallel contract: any worker count yields the
+    // same outcome, bit for bit — across random task sets that mix
+    // single- and multi-component instants, under random blocking.
+    Grid g(12, 12);
+    Rng rng(0x7ab5'2026ULL);
+    StackPathFinder sequential(g, 1);
+    StackPathFinder parallel(g, 8);
+    for (int round = 0; round < 25; ++round) {
+        std::vector<CxTask> tasks;
+        const int n = rng.intIn(1, 40);
+        while (static_cast<int>(tasks.size()) < n) {
+            const Cell a{rng.intIn(0, 11), rng.intIn(0, 11)};
+            const Cell b{rng.intIn(0, 11), rng.intIn(0, 11)};
+            if (a == b)
+                continue;
+            tasks.push_back(CxTask::make(tasks.size(), a, b));
+        }
+        BlockedBitset blocked(static_cast<size_t>(g.numVertices()));
+        for (size_t v = 0; v < blocked.size(); ++v)
+            if (rng.chance(0.05))
+                blocked.set(v);
+        const auto seq = sequential.findPaths(tasks, blocked);
+        const auto par = parallel.findPaths(tasks, blocked);
+        expectSameOutcome(seq, par);
+    }
+}
+
+TEST(StackFinder, ComponentClustersRouteIdenticallyAcrossJobs)
+{
+    // Four well-separated clusters form four interference components;
+    // each must be routed independently and merged in component order
+    // no matter how many workers participate.
+    Grid g(10, 10);
+    std::vector<CxTask> tasks;
+    const Cell corners[4] = {{0, 0}, {0, 7}, {7, 0}, {7, 7}};
+    for (const Cell &o : corners) {
+        // A small crossing pattern inside each cluster.
+        tasks.push_back(CxTask::make(tasks.size(), Cell{o.r, o.c},
+                                     Cell{o.r + 2, o.c + 2}));
+        tasks.push_back(CxTask::make(tasks.size(), Cell{o.r + 2, o.c},
+                                     Cell{o.r, o.c + 2}));
+        tasks.push_back(CxTask::make(tasks.size(), Cell{o.r + 1, o.c},
+                                     Cell{o.r + 1, o.c + 2}));
+        tasks.push_back(CxTask::make(tasks.size(), Cell{o.r, o.c + 1},
+                                     Cell{o.r + 2, o.c + 1}));
+    }
+    StackPathFinder sequential(g, 1);
+    const auto seq = sequential.findPaths(tasks, freeMask(g));
+    // The clusters are deliberately over-subscribed (not every task
+    // can route), so only validity and disjointness are asserted here;
+    // the determinism check below is the point of the test.
+    std::set<VertexId> used;
+    for (const auto &[idx, path] : seq.routed) {
+        EXPECT_EQ(path.validate(g, tasks[idx].a, tasks[idx].b), "");
+        for (VertexId v : path.vertices)
+            EXPECT_TRUE(used.insert(v).second)
+                << "vertex " << v << " used twice";
+    }
+    EXPECT_GE(seq.routed.size(), 8u); // at least the two diagonals each
+    for (int jobs : {2, 4, 8}) {
+        StackPathFinder finder(g, jobs);
+        expectSameOutcome(seq, finder.findPaths(tasks, freeMask(g)));
+    }
 }
 
 TEST(GreedyFinder, DistanceOrderRoutesShortFirst)

@@ -109,7 +109,7 @@ TEST(SurgeryModel, RegionCoversCornersAndBus)
     LatticeSurgeryResourceModel model(grid, cost, {});
     const std::vector<CxTask> tasks{
         CxTask::make(0, Cell{0, 0}, Cell{1, 1})};
-    const std::vector<uint8_t> blocked = noBlockedVertices(grid);
+    const BlockedBitset blocked = noBlockedVertices(grid);
     const RoutingOutcome out = model.acquire(tasks, blocked);
     ASSERT_EQ(out.routed.size(), 1u);
     EXPECT_TRUE(out.failed.empty());
@@ -138,7 +138,7 @@ TEST(SurgeryModel, ConcurrentRegionsAreDisjoint)
     std::vector<CxTask> tasks{CxTask::make(0, Cell{0, 0}, Cell{0, 1}),
                               CxTask::make(1, Cell{0, 1}, Cell{1, 1})};
     tasks[0].priority = 10; // routed first
-    const std::vector<uint8_t> blocked = noBlockedVertices(grid);
+    const BlockedBitset blocked = noBlockedVertices(grid);
     const RoutingOutcome out = model.acquire(tasks, blocked);
     ASSERT_EQ(out.routed.size(), 1u);
     EXPECT_EQ(out.routed[0].first, 0u);
@@ -158,7 +158,7 @@ TEST(SurgeryModel, DeadCornersExcludedFromRegions)
     LatticeSurgeryResourceModel model(grid, cost, dead);
     const std::vector<CxTask> tasks{
         CxTask::make(0, Cell{0, 0}, Cell{1, 1})};
-    const std::vector<uint8_t> blocked = noBlockedVertices(grid);
+    const BlockedBitset blocked = noBlockedVertices(grid);
     const RoutingOutcome out = model.acquire(tasks, blocked);
     ASSERT_EQ(out.routed.size(), 1u);
     for (VertexId v : out.routed[0].second.vertices)

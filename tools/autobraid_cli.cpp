@@ -22,6 +22,9 @@
  *     --sweep-p                   run the Fig. 18 style p sweep
  *     --jobs=N                    batch-compile the inputs over N
  *                                 worker threads (BatchCompiler)
+ *     --route-jobs=N              component-parallel routing threads
+ *                                 inside each compile (byte-identical
+ *                                 schedules for any N)
  *     --timings                   print per-pass wall times
  *     --json                      emit a JSON report (no trace)
  *     --json-trace                emit a JSON report with full trace
@@ -105,7 +108,8 @@ usage(int code)
         "  --policy=baseline|sp|full  --backend=braiding|surgery\n"
         "  --distance=D  --p=F  --seed=S\n"
         "  --no-maslov  --defects=N  --teleport=HOLD  --compare\n"
-        "  --sweep-p  --jobs=N  --timings  --json  --json-trace\n"
+        "  --sweep-p  --jobs=N  --route-jobs=N  --timings\n"
+        "  --json  --json-trace\n"
         "  --trace-out=FILE  --record-out=FILE  --metrics-out=FILE\n"
         "  --draw  --stats  --list\n"
         "  --lint  --lint-out=FILE  --lint-werror\n"
@@ -165,6 +169,8 @@ parseArgs(int argc, char **argv)
             opts.defects = std::stoi(value);
         } else if (matchValue(arg, "--jobs", value)) {
             opts.jobs = std::stoi(value);
+        } else if (matchValue(arg, "--route-jobs", value)) {
+            opts.compile.route_jobs = std::stoi(value);
         } else if (std::strcmp(arg, "--timings") == 0) {
             opts.timings = true;
         } else if (matchValue(arg, "--teleport", value)) {

@@ -26,6 +26,9 @@
  *                           (default 16; 0 disables)
  *     --batch-stride=N      batch-determinism check every Nth case
  *                           (default 8; 0 disables)
+ *     --route-jobs-stride=N route-jobs determinism check (schedules
+ *                           byte-identical for route_jobs 1 vs 8)
+ *                           every Nth case (default 8; 0 disables)
  *     --degenerate-stride=N strip-lattice case every Nth seed
  *                           (default 16; 0 disables)
  *     --no-lint-oracle      skip the static-analysis lint oracle
@@ -79,7 +82,7 @@ usage(int code)
         "                    or names: baseline,sp,full,all\n"
         "  --backend=B       braiding (default) or surgery\n"
         "  --batch-stride=N --degenerate-stride=N\n"
-        "  --cross-backend-stride=N\n"
+        "  --cross-backend-stride=N --route-jobs-stride=N\n"
         "  --no-lint-oracle --no-shrink\n"
         "  --repro-out=FILE  first failure's reproducer as OpenQASM\n"
         "  --record-out=FILE first failure's flight recording JSON\n"
@@ -136,6 +139,9 @@ parseArgs(int argc, char **argv)
         } else if (matchValue(argc, argv, i, "--batch-stride",
                               value)) {
             opts.fuzz.batch_stride = std::stoi(value);
+        } else if (matchValue(argc, argv, i, "--route-jobs-stride",
+                              value)) {
+            opts.fuzz.route_jobs_stride = std::stoi(value);
         } else if (matchValue(argc, argv, i, "--degenerate-stride",
                               value)) {
             opts.fuzz.degenerate_stride = std::stoi(value);
