@@ -1,0 +1,529 @@
+#include "analysis/certify.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "analysis/layout_lints.hpp"
+#include "common/error.hpp"
+#include "common/text.hpp"
+#include "lattice/cost_model.hpp"
+#include "lattice/geometry.hpp"
+#include "llg/bbox.hpp"
+#include "sched/backend.hpp"
+
+namespace autobraid {
+namespace certify {
+
+namespace {
+
+/** Cap on stored violations; past it only the count grows. */
+constexpr size_t kMaxViolations = 64;
+
+/** One schedule entry, decoded from the JSON trace. */
+struct Entry
+{
+    long long gate = -1; ///< -1 = inserted SWAP
+    Cycles start = 0;
+    Cycles finish = 0;
+    Cycles release = 0;
+    std::vector<VertexId> path;
+};
+
+const json::Value &
+need(const json::Value &doc, const char *key)
+{
+    const json::Value *v = doc.find(key);
+    if (!v)
+        fatal("schedule document is missing \"%s\"", key);
+    return *v;
+}
+
+long long
+asInt(const json::Value &v, const char *what)
+{
+    const double d = v.asNumber();
+    const long long i = static_cast<long long>(d);
+    if (static_cast<double>(i) != d)
+        fatal("schedule field \"%s\" is not an integer", what);
+    return i;
+}
+
+long long
+needInt(const json::Value &doc, const char *key)
+{
+    return asInt(need(doc, key), key);
+}
+
+/** Reverse of gateName(); fatal on an unknown mnemonic. */
+GateKind
+kindFromName(const std::string &name)
+{
+    static const GateKind kAll[] = {
+        GateKind::I,       GateKind::X,  GateKind::Y,
+        GateKind::Z,       GateKind::H,  GateKind::S,
+        GateKind::Sdg,     GateKind::T,  GateKind::Tdg,
+        GateKind::RX,      GateKind::RY, GateKind::RZ,
+        GateKind::Measure, GateKind::CX, GateKind::Swap,
+        GateKind::Barrier};
+    for (GateKind k : kAll)
+        if (name == gateName(k))
+            return k;
+    fatal("schedule gate list has unknown kind \"%s\"", name.c_str());
+}
+
+} // namespace
+
+std::string
+Violation::toString() const
+{
+    return check + ": " + message;
+}
+
+std::string
+Certificate::toJson() const
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"format\": \"autobraid-certificate\",\n";
+    out += "  \"version\": 1,\n";
+    out += strformat("  \"ok\": %s,\n", ok ? "true" : "false");
+    out += strformat("  \"circuit\": \"%s\",\n",
+                     jsonEscape(circuit).c_str());
+    out += strformat("  \"policy\": \"%s\",\n",
+                     jsonEscape(policy).c_str());
+    out += strformat("  \"backend\": \"%s\",\n",
+                     jsonEscape(backend).c_str());
+    out += strformat("  \"gates\": %zu,\n", gates);
+    out += strformat("  \"scheduled\": %zu,\n", scheduled);
+    out += strformat("  \"swaps\": %zu,\n", swaps);
+    out += strformat("  \"makespan\": %llu,\n",
+                     static_cast<unsigned long long>(makespan));
+    out += strformat(
+        "  \"critical_path_bound\": %llu,\n",
+        static_cast<unsigned long long>(critical_path_bound));
+    out += strformat("  \"channel_bound\": %llu,\n",
+                     static_cast<unsigned long long>(channel_bound));
+    out += strformat("  \"lower_bound\": %llu,\n",
+                     static_cast<unsigned long long>(lower_bound));
+    out += strformat("  \"optimality_gap\": %.6f,\n", optimality_gap);
+    out += "  \"violations\": [\n";
+    for (size_t i = 0; i < violations.size(); ++i)
+        out += strformat(
+            "    {\"check\": \"%s\", \"message\": \"%s\"}%s\n",
+            jsonEscape(violations[i].check).c_str(),
+            jsonEscape(violations[i].message).c_str(),
+            i + 1 < violations.size() ? "," : "");
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+Certificate
+certifySchedule(const json::Value &doc)
+{
+    if (need(doc, "format").asString() != "autobraid-schedule")
+        fatal("not an autobraid-schedule document (format \"%s\")",
+              doc.stringOr("format", "?").c_str());
+    if (needInt(doc, "version") != 1)
+        fatal("unsupported autobraid-schedule version %lld",
+              needInt(doc, "version"));
+
+    Certificate cert;
+    cert.ok = true;
+    cert.circuit = need(doc, "circuit").asString();
+    cert.policy = need(doc, "policy").asString();
+    cert.backend = need(doc, "backend").asString();
+    const SchedulerBackend backend = parseBackendName(cert.backend);
+
+    const int distance = static_cast<int>(needInt(doc, "distance"));
+    if (distance <= 0)
+        fatal("schedule distance %d is not positive", distance);
+    const int rows = static_cast<int>(needInt(doc, "grid_rows"));
+    const int cols = static_cast<int>(needInt(doc, "grid_cols"));
+    if (rows <= 0 || cols <= 0)
+        fatal("schedule grid %dx%d is degenerate", rows, cols);
+    const int num_qubits =
+        static_cast<int>(needInt(doc, "num_qubits"));
+    if (num_qubits <= 0)
+        fatal("schedule has %d qubits", num_qubits);
+    const Cycles channel_hold =
+        static_cast<Cycles>(needInt(doc, "channel_hold_cycles"));
+    const bool used_maslov = need(doc, "used_maslov").asBool();
+    const size_t swaps_inserted =
+        static_cast<size_t>(needInt(doc, "swaps_inserted"));
+    const size_t braids_routed =
+        static_cast<size_t>(needInt(doc, "braids_routed"));
+    cert.makespan = static_cast<Cycles>(needInt(doc, "makespan"));
+
+    CostModel cost;
+    cost.distance = distance;
+
+    // Decode the gate list.
+    std::vector<Gate> gates;
+    for (const json::Value &jg : need(doc, "gates").asArray()) {
+        Gate g;
+        g.kind = kindFromName(need(jg, "kind").asString());
+        g.q0 = static_cast<Qubit>(needInt(jg, "q0"));
+        g.q1 = static_cast<Qubit>(needInt(jg, "q1"));
+        gates.push_back(g);
+    }
+    cert.gates = gates.size();
+
+    // Decode the trace.
+    std::vector<Entry> entries;
+    for (const json::Value &je : need(doc, "schedule").asArray()) {
+        Entry e;
+        e.gate = needInt(je, "gate");
+        e.start = static_cast<Cycles>(needInt(je, "start"));
+        e.finish = static_cast<Cycles>(needInt(je, "finish"));
+        e.release = static_cast<Cycles>(needInt(je, "release"));
+        for (const json::Value &jv : need(je, "path").asArray())
+            e.path.push_back(
+                static_cast<VertexId>(asInt(jv, "path")));
+        entries.push_back(std::move(e));
+    }
+
+    size_t dropped = 0;
+    auto violate = [&cert, &dropped](const char *check,
+                                     std::string message) {
+        cert.ok = false;
+        if (cert.violations.size() < kMaxViolations)
+            cert.violations.push_back(
+                Violation{check, std::move(message)});
+        else
+            ++dropped;
+    };
+
+    // ---- 1. Window sanity and coverage --------------------------
+    std::map<size_t, const Entry *> by_gate;
+    size_t swap_entries = 0;
+    size_t braid_entries = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        if (e.finish < e.start)
+            violate("window",
+                    strformat("entry %zu: finish %llu precedes start "
+                              "%llu",
+                              i,
+                              static_cast<unsigned long long>(
+                                  e.finish),
+                              static_cast<unsigned long long>(
+                                  e.start)));
+        if (e.release < e.start || e.release > e.finish)
+            violate("window",
+                    strformat("entry %zu: release %llu outside "
+                              "window [%llu, %llu]",
+                              i,
+                              static_cast<unsigned long long>(
+                                  e.release),
+                              static_cast<unsigned long long>(
+                                  e.start),
+                              static_cast<unsigned long long>(
+                                  e.finish)));
+        if (e.gate < 0) {
+            ++swap_entries;
+            if (e.path.empty())
+                violate("path",
+                        strformat("entry %zu: inserted SWAP without "
+                                  "a braiding path",
+                                  i));
+            continue;
+        }
+        if (static_cast<size_t>(e.gate) >= gates.size()) {
+            violate("coverage",
+                    strformat("entry %zu references gate %lld "
+                              "beyond gate list size %zu",
+                              i, e.gate, gates.size()));
+            continue;
+        }
+        if (!e.path.empty())
+            ++braid_entries;
+        if (!by_gate.emplace(static_cast<size_t>(e.gate), &e).second)
+            violate("coverage",
+                    strformat("gate %lld scheduled twice", e.gate));
+    }
+    cert.scheduled = by_gate.size();
+    cert.swaps = swap_entries;
+    const bool complete = by_gate.size() == gates.size();
+    if (!complete)
+        violate("coverage",
+                strformat("%zu of %zu gates missing from the "
+                          "schedule",
+                          gates.size() - by_gate.size(),
+                          gates.size()));
+    if (swap_entries != swaps_inserted)
+        violate("coverage",
+                strformat("schedule has %zu swap entries but the "
+                          "header reports %zu",
+                          swap_entries, swaps_inserted));
+    if (complete && !gates.empty() && braid_entries != braids_routed)
+        violate("coverage",
+                strformat("schedule has %zu braid entries but the "
+                          "header reports %zu routed",
+                          braid_entries, braids_routed));
+
+    // ---- 2. Backend-correct durations and makespan --------------
+    Cycles last_gate_finish = 0;
+    for (const auto &[g, e] : by_gate) {
+        const Gate &gate = gates[g];
+        const Cycles want =
+            backendGateDuration(cost, backend, gate);
+        last_gate_finish = std::max(last_gate_finish, e->finish);
+        if (e->finish >= e->start && e->finish - e->start != want)
+            violate("duration",
+                    strformat("gate %zu (%s): duration %llu, "
+                              "expected %llu",
+                              g, gate.toString().c_str(),
+                              static_cast<unsigned long long>(
+                                  e->finish - e->start),
+                              static_cast<unsigned long long>(want)));
+        if (e->finish > cert.makespan)
+            violate("makespan",
+                    strformat("gate %zu finishes at %llu past the "
+                              "claimed makespan %llu",
+                              g,
+                              static_cast<unsigned long long>(
+                                  e->finish),
+                              static_cast<unsigned long long>(
+                                  cert.makespan)));
+        if (needsBraid(gate.kind) && e->path.empty())
+            violate("path",
+                    strformat("braid gate %zu has no path", g));
+    }
+    if (complete && !gates.empty() &&
+        last_gate_finish != cert.makespan)
+        violate("makespan",
+                strformat("last gate finishes at %llu but the "
+                          "claimed makespan is %llu",
+                          static_cast<unsigned long long>(
+                              last_gate_finish),
+                          static_cast<unsigned long long>(
+                              cert.makespan)));
+
+    // ---- 3. Dependence order (per-qubit program chains) ---------
+    for (size_t g = 0; g < gates.size() && complete; ++g) {
+        const Qubit ops[2] = {gates[g].q0, gates[g].q1};
+        for (Qubit q : ops) {
+            if (q < 0)
+                continue;
+            if (q >= num_qubits) {
+                violate("gate-operands",
+                        strformat("gate %zu touches qubit %d outside "
+                                  "the %d-qubit register",
+                                  g, q, num_qubits));
+            }
+        }
+    }
+    if (complete) {
+        std::vector<long long> last_touch(
+            static_cast<size_t>(num_qubits), -1);
+        for (size_t g = 0; g < gates.size(); ++g) {
+            const Qubit ops[2] = {gates[g].q0, gates[g].q1};
+            for (Qubit q : ops) {
+                if (q < 0 || q >= num_qubits)
+                    continue;
+                const long long p =
+                    last_touch[static_cast<size_t>(q)];
+                if (p >= 0 &&
+                    by_gate.at(g)->start <
+                        by_gate.at(static_cast<size_t>(p))->finish)
+                    violate(
+                        "dependence",
+                        strformat(
+                            "gate %zu starts at %llu before its "
+                            "qubit-%d predecessor %lld finishes at "
+                            "%llu",
+                            g,
+                            static_cast<unsigned long long>(
+                                by_gate.at(g)->start),
+                            q, p,
+                            static_cast<unsigned long long>(
+                                by_gate.at(static_cast<size_t>(p))
+                                    ->finish)));
+                last_touch[static_cast<size_t>(q)] =
+                    static_cast<long long>(g);
+            }
+        }
+    }
+
+    // ---- 4. Path geometry from raw vertex-id arithmetic ---------
+    const int vrows = rows + 1;
+    const int vcols = cols + 1;
+    const VertexId nv = static_cast<VertexId>(vrows * vcols);
+    const bool contiguous =
+        backend != SchedulerBackend::LatticeSurgery;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        for (size_t k = 0; k < e.path.size(); ++k) {
+            const VertexId v = e.path[k];
+            if (v < 0 || v >= nv) {
+                violate("path",
+                        strformat("entry %zu: vertex id %d outside "
+                                  "the %dx%d vertex grid",
+                                  i, v, vrows, vcols));
+                break;
+            }
+            if (contiguous && k > 0) {
+                const VertexId u = e.path[k - 1];
+                const int dr = v / vcols - u / vcols;
+                const int dc = v % vcols - u % vcols;
+                if (std::abs(dr) + std::abs(dc) != 1) {
+                    violate("path-contiguity",
+                            strformat("entry %zu: hop %d -> %d is "
+                                      "not a unit channel segment",
+                                      i, u, v));
+                    break;
+                }
+            }
+            if (std::count(e.path.begin(), e.path.end(), v) != 1) {
+                violate("path",
+                        strformat("entry %zu: path revisits vertex "
+                                  "%d",
+                                  i, v));
+                break;
+            }
+        }
+    }
+
+    // ---- 5. Per-instant vertex disjointness ---------------------
+    // A naive per-vertex interval map, deliberately independent of
+    // the scheduler's BlockedBitset: each braid holds every path
+    // vertex for [start, release).
+    std::vector<std::vector<std::pair<Cycles, Cycles>>> occupancy(
+        static_cast<size_t>(nv));
+    for (const Entry &e : entries) {
+        if (e.release <= e.start)
+            continue;
+        for (VertexId v : e.path)
+            if (v >= 0 && v < nv)
+                occupancy[static_cast<size_t>(v)].emplace_back(
+                    e.start, e.release);
+    }
+    for (VertexId v = 0; v < nv; ++v) {
+        auto &holds = occupancy[static_cast<size_t>(v)];
+        std::sort(holds.begin(), holds.end());
+        for (size_t k = 1; k < holds.size(); ++k) {
+            if (holds[k].first < holds[k - 1].second) {
+                violate(
+                    "vertex-overlap",
+                    strformat("vertex %d held by overlapping braids "
+                              "[%llu, %llu) and [%llu, %llu)",
+                              v,
+                              static_cast<unsigned long long>(
+                                  holds[k - 1].first),
+                              static_cast<unsigned long long>(
+                                  holds[k - 1].second),
+                              static_cast<unsigned long long>(
+                                  holds[k].first),
+                              static_cast<unsigned long long>(
+                                  holds[k].second)));
+                break; // one report per vertex is enough
+            }
+        }
+    }
+
+    // ---- 6. Makespan lower bounds and optimality gap ------------
+    // Critical path over the per-qubit dependence chains, using the
+    // same backend duration table the duration check trusts.
+    {
+        std::vector<Cycles> qubit_finish(
+            static_cast<size_t>(num_qubits), 0);
+        Cycles cp = 0;
+        for (const Gate &gate : gates) {
+            Cycles ready = 0;
+            const Qubit ops[2] = {gate.q0, gate.q1};
+            for (Qubit q : ops)
+                if (q >= 0 && q < num_qubits)
+                    ready = std::max(
+                        ready,
+                        qubit_finish[static_cast<size_t>(q)]);
+            const Cycles fin =
+                ready + backendGateDuration(cost, backend, gate);
+            for (Qubit q : ops)
+                if (q >= 0 && q < num_qubits)
+                    qubit_finish[static_cast<size_t>(q)] = fin;
+            cp = std::max(cp, fin);
+        }
+        cert.critical_path_bound = cp;
+    }
+
+    // AB202 channel-capacity bound, recomputed from the embedded
+    // initial placement. Sound only for swap-free braiding runs
+    // (a relocated or Maslov-rewritten circuit no longer crosses
+    // the same cut lines), mirroring ReportPass's gating.
+    std::vector<VertexId> dead;
+    for (const json::Value &jv : need(doc, "dead_vertices").asArray())
+        dead.push_back(static_cast<VertexId>(asInt(jv, "dead")));
+    const json::Value *placement = doc.find("placement");
+    if (backend == SchedulerBackend::Braiding &&
+        swaps_inserted == 0 && !used_maslov && placement) {
+        const Grid grid(rows, cols);
+        const json::Array &cells = placement->asArray();
+        if (cells.size() != static_cast<size_t>(num_qubits))
+            fatal("schedule placement has %zu entries for %d qubits",
+                  cells.size(), num_qubits);
+        std::vector<CellId> cell_of;
+        for (const json::Value &jc : cells) {
+            const auto cid =
+                static_cast<CellId>(asInt(jc, "placement"));
+            if (cid < 0 || cid >= grid.numCells())
+                fatal("schedule placement cell id %d outside the "
+                      "%dx%d grid",
+                      cid, rows, cols);
+            cell_of.push_back(cid);
+        }
+        std::vector<CxTask> tasks;
+        for (size_t g = 0; g < gates.size(); ++g) {
+            const Gate &gate = gates[g];
+            if (!needsBraid(gate.kind))
+                continue;
+            if (gate.q0 < 0 || gate.q0 >= num_qubits ||
+                gate.q1 < 0 || gate.q1 >= num_qubits)
+                continue; // reported by gate-operands above
+            tasks.push_back(CxTask::make(
+                g,
+                grid.cell(
+                    cell_of[static_cast<size_t>(gate.q0)]),
+                grid.cell(
+                    cell_of[static_cast<size_t>(gate.q1)])));
+        }
+        cert.channel_bound =
+            lint::channelCapacityBound(
+                grid, dead, tasks,
+                lint::effectiveHold(cost, channel_hold))
+                .bound;
+    }
+
+    cert.lower_bound =
+        std::max(cert.critical_path_bound, cert.channel_bound);
+    if (complete && cert.makespan < cert.lower_bound)
+        violate("makespan-bound",
+                strformat("claimed makespan %llu is below the "
+                          "certified lower bound %llu",
+                          static_cast<unsigned long long>(
+                              cert.makespan),
+                          static_cast<unsigned long long>(
+                              cert.lower_bound)));
+    cert.optimality_gap =
+        cert.lower_bound > 0
+            ? static_cast<double>(cert.makespan) /
+                  static_cast<double>(cert.lower_bound)
+            : 0.0;
+
+    if (dropped > 0)
+        cert.violations.push_back(Violation{
+            "truncated",
+            strformat("... suppressed %zu additional violations",
+                      dropped)});
+    return cert;
+}
+
+Certificate
+certifyScheduleText(const std::string &text)
+{
+    return certifySchedule(json::parse(text));
+}
+
+} // namespace certify
+} // namespace autobraid

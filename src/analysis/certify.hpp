@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Independent schedule certifier.
+ *
+ * Consumes a format=autobraid-schedule v1 document (see
+ * src/sched/schedule_export.hpp and docs/observability.md) and
+ * re-verifies it against a deliberately separate implementation of
+ * the scheduling semantics: per-qubit dependence chains instead of
+ * the scheduler's Dag, a naive per-vertex interval occupancy map
+ * instead of BlockedBitset, and path geometry recomputed from raw
+ * vertex-id arithmetic. Every certificate also pins two makespan
+ * lower bounds — the dependence-chain critical path and the AB202
+ * channel-capacity bound — so each certified schedule carries an
+ * optimality-gap ratio (ROADMAP open item 3).
+ *
+ * The certifier never trusts the producing binary: a shared defect
+ * in, e.g., the blocked-mask bookkeeping or a backend duration table
+ * shows up here as a violation. tools/autobraid_certify wraps this
+ * as a CLI (exit 1 on any violation); the differential fuzzer runs
+ * it in-process as an oracle over every scheduled policy run.
+ */
+
+#ifndef AUTOBRAID_ANALYSIS_CERTIFY_HPP
+#define AUTOBRAID_ANALYSIS_CERTIFY_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit/dag.hpp"
+#include "circuit/gate.hpp"
+#include "common/json.hpp"
+
+namespace autobraid {
+namespace certify {
+
+/** One failed check. */
+struct Violation
+{
+    std::string check;   ///< stable check id, e.g. "vertex-overlap"
+    std::string message; ///< human-readable detail
+
+    std::string toString() const;
+};
+
+/** Machine-readable certification outcome. */
+struct Certificate
+{
+    bool ok = false;
+    std::string circuit;
+    std::string policy;
+    std::string backend; ///< "braiding" | "surgery"
+    size_t gates = 0;    ///< gate-list length
+    size_t scheduled = 0; ///< distinct gates found in the trace
+    size_t swaps = 0;     ///< inserted-SWAP trace entries
+    Cycles makespan = 0;
+
+    /** Dependence-chain critical path (always computed). */
+    Cycles critical_path_bound = 0;
+
+    /**
+     * AB202 channel-capacity bound; 0 when not applicable (lattice
+     * surgery, swap-inserted or Maslov runs, missing placement).
+     */
+    Cycles channel_bound = 0;
+
+    /** max(critical_path_bound, channel_bound). */
+    Cycles lower_bound = 0;
+
+    /** makespan / lower_bound; 0 when the lower bound is 0. */
+    double optimality_gap = 0;
+
+    std::vector<Violation> violations;
+
+    /** format=autobraid-certificate v1 JSON. */
+    std::string toJson() const;
+};
+
+/**
+ * Certify a parsed autobraid-schedule document. Structural problems
+ * (wrong format/version, missing or mistyped fields) raise UserError;
+ * semantic violations land in Certificate::violations with ok=false.
+ */
+Certificate certifySchedule(const json::Value &doc);
+
+/** Parse @p text as JSON and certify it. */
+Certificate certifyScheduleText(const std::string &text);
+
+} // namespace certify
+} // namespace autobraid
+
+#endif // AUTOBRAID_ANALYSIS_CERTIFY_HPP

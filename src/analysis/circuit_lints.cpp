@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/dataflow.hpp"
 #include "circuit/peephole.hpp"
 #include "common/text.hpp"
 
@@ -63,6 +64,23 @@ void
 lintAdjacentInverses(const Circuit &circuit, DiagnosticEngine &engine,
                      const GateProvenance *prov)
 {
+    // Line-deletion fixes are only safe when a source line holds
+    // exactly one gate (broadcasts and user-gate expansions map many
+    // gates to one line; deleting it would drop the others too).
+    std::map<int, size_t> gates_per_line;
+    if (prov && !prov->file.empty())
+        for (int line : prov->lines)
+            if (line > 0)
+                ++gates_per_line[line];
+    auto soleGateLine = [&](GateIdx g) -> int {
+        if (!prov || prov->file.empty() || g >= prov->lines.size())
+            return 0;
+        const int line = prov->lines[g];
+        if (line <= 0 || gates_per_line[line] != 1)
+            return 0;
+        return line;
+    };
+
     // last[q] = index of the most recent gate touching qubit q.
     std::vector<GateIdx> last(static_cast<size_t>(circuit.numQubits()),
                               kNone);
@@ -79,12 +97,24 @@ lintAdjacentInverses(const Circuit &circuit, DiagnosticEngine &engine,
                       p0 == last[static_cast<size_t>(g.q1)];
         if (pair_adjacent && gatesCancel(circuit.gate(p0), g)) {
             const GateIdx p = last[static_cast<size_t>(g.q0)];
-            engine.report(
-                "AB106", prov ? prov->at(i) : SourceLoc{},
+            std::string message =
                 strformat("gate #%zu (%s) cancels with gate #%zu "
                           "(%s): the pair is dead work",
                           i, g.toString().c_str(), p,
-                          circuit.gate(p).toString().c_str()));
+                          circuit.gate(p).toString().c_str());
+            const int line_i = soleGateLine(i);
+            const int line_p = soleGateLine(p);
+            if (line_i > 0 && line_p > 0 && line_i != line_p)
+                engine.reportWithFix("AB106",
+                                     prov ? prov->at(i)
+                                          : SourceLoc{},
+                                     std::move(message),
+                                     {{prov->file, line_p, ""},
+                                      {prov->file, line_i, ""}});
+            else
+                engine.report("AB106",
+                              prov ? prov->at(i) : SourceLoc{},
+                              std::move(message));
             // Treat the pair as removed so a run of three identical
             // gates reports one pair, not two overlapping ones.
             last[static_cast<size_t>(g.q0)] = kNone;
@@ -142,6 +172,7 @@ lintCircuit(const Circuit &circuit, DiagnosticEngine &engine,
     lintUnusedQubits(circuit, engine);
     lintAdjacentInverses(circuit, engine, provenance);
     lintMagicHotspot(circuit, engine, options);
+    lintDeadGates(circuit, engine, provenance, options.reset_gates);
 }
 
 namespace {
@@ -277,13 +308,77 @@ lintUnusedCregs(const Program &program, DiagnosticEngine &engine,
     for (const qasm::Statement &stmt : program.statements)
         if (const auto *m = std::get_if<qasm::MeasureStmt>(&stmt))
             written.insert(m->dst.reg);
-    for (const auto &[name, size] : program.cregs)
-        if (written.find(name) == written.end())
-            engine.report(
-                "AB104", at(file, 0),
-                strformat("classical register '%s'[%d] is never "
-                          "written by a measurement",
-                          name.c_str(), size));
+    for (size_t i = 0; i < program.cregs.size(); ++i) {
+        const auto &[name, size] = program.cregs[i];
+        if (written.find(name) != written.end())
+            continue;
+        const int line = i < program.creg_lines.size()
+                             ? program.creg_lines[i]
+                             : 0;
+        std::string message =
+            strformat("classical register '%s'[%d] is never "
+                      "written by a measurement",
+                      name.c_str(), size);
+        // Deleting the declaration is mechanically safe only when
+        // we know its line and the file is on disk.
+        if (line > 0 && !file.empty())
+            engine.reportWithFix("AB104", at(file, line),
+                                 std::move(message),
+                                 {{file, line, ""}});
+        else
+            engine.report("AB104", at(file, line),
+                          std::move(message));
+    }
+}
+
+/**
+ * AB103 (AST flavor): a qreg none of whose elements appear in any
+ * statement. Unlike the circuit-level unused-qubit lint this sees
+ * the declaration line, so it can offer a delete-the-decl fix —
+ * but only while another qreg remains (a program with no qubits is
+ * rejected by elaboration).
+ */
+void
+lintUnusedQregs(const Program &program, DiagnosticEngine &engine,
+                const std::string &file)
+{
+    std::set<std::string> referenced;
+    auto touch = [&referenced](const Argument &arg) {
+        referenced.insert(arg.reg);
+    };
+    for (const qasm::Statement &stmt : program.statements) {
+        if (const auto *call = std::get_if<qasm::GateCall>(&stmt))
+            for (const Argument &a : call->args)
+                touch(a);
+        else if (const auto *m =
+                     std::get_if<qasm::MeasureStmt>(&stmt))
+            touch(m->src);
+        else if (const auto *b =
+                     std::get_if<qasm::BarrierStmt>(&stmt))
+            for (const Argument &a : b->args)
+                touch(a);
+        else if (const auto *r = std::get_if<qasm::ResetStmt>(&stmt))
+            touch(r->arg);
+    }
+    for (size_t i = 0; i < program.qregs.size(); ++i) {
+        const auto &[name, size] = program.qregs[i];
+        if (referenced.find(name) != referenced.end())
+            continue;
+        const int line = i < program.qreg_lines.size()
+                             ? program.qreg_lines[i]
+                             : 0;
+        std::string message = strformat(
+            "quantum register '%s'[%d] is never referenced by any "
+            "statement",
+            name.c_str(), size);
+        if (line > 0 && !file.empty() && program.qregs.size() > 1)
+            engine.reportWithFix("AB103", at(file, line),
+                                 std::move(message),
+                                 {{file, line, ""}});
+        else
+            engine.report("AB103", at(file, line),
+                          std::move(message));
+    }
 }
 
 /** AB102: quantum use after measurement without a reset. */
@@ -346,7 +441,9 @@ lintProgram(const Program &program, DiagnosticEngine &engine,
     lintBroadcastWidths(program, engine, file);
     lintMeasureWidths(program, engine, file);
     lintUnusedCregs(program, engine, file);
+    lintUnusedQregs(program, engine, file);
     lintUseAfterMeasure(program, engine, file);
+    lintDeadMeasurements(program, engine, file);
 }
 
 } // namespace lint

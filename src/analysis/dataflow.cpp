@@ -1,0 +1,202 @@
+#include "analysis/dataflow.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace lint {
+
+void
+DataflowEngine::run(
+    const std::function<void(size_t, std::vector<uint8_t> &)>
+        &transfer)
+{
+    facts_.assign(num_ops_, {});
+    std::vector<uint8_t> state(domain_, 0);
+    if (direction_ == DataflowDirection::Forward) {
+        for (size_t op = 0; op < num_ops_; ++op) {
+            facts_[op] = state;
+            transfer(op, state);
+        }
+    } else {
+        for (size_t op = num_ops_; op-- > 0;) {
+            facts_[op] = state;
+            transfer(op, state);
+        }
+    }
+}
+
+namespace {
+
+/** Cap per-analysis reports; the rest collapse into one summary. */
+constexpr size_t kMaxReports = 16;
+
+bool
+isPureUnitary1q(const Gate &g)
+{
+    if (g.arity() != 1)
+        return false;
+    switch (g.kind) {
+    case GateKind::Measure:
+    case GateKind::Barrier:
+        return false;
+    default:
+        return true;
+    }
+}
+
+} // namespace
+
+void
+lintDeadGates(const Circuit &circuit, DiagnosticEngine &engine,
+              const GateProvenance *provenance,
+              const std::vector<GateIdx> *reset_gates)
+{
+    const std::vector<Gate> &gates = circuit.gates();
+    std::vector<uint8_t> is_reset(gates.size(), 0);
+    if (reset_gates)
+        for (GateIdx g : *reset_gates)
+            if (g < gates.size())
+                is_reset[g] = 1;
+
+    bool has_observation = false;
+    for (size_t g = 0; g < gates.size(); ++g)
+        has_observation = has_observation ||
+                          (gates[g].kind == GateKind::Measure &&
+                           !is_reset[g]);
+    if (!has_observation)
+        return;
+
+    DataflowEngine liveness(gates.size(),
+                            static_cast<size_t>(circuit.numQubits()),
+                            DataflowDirection::Backward);
+    liveness.run([&](size_t g, std::vector<uint8_t> &live) {
+        const Gate &gate = gates[g];
+        const auto q0 = static_cast<size_t>(gate.q0);
+        if (gate.kind == GateKind::Measure) {
+            // A reset discards the pre-reset state (kill); a real
+            // measurement observes it (gen).
+            live[q0] = is_reset[g] ? 0 : 1;
+            return;
+        }
+        if (gate.kind == GateKind::Barrier)
+            return; // scheduling aid; no effect on any state
+        if (gate.arity() == 2) {
+            // Entanglement: if either operand is eventually
+            // observed, both pre-gate states are.
+            const auto q1 = static_cast<size_t>(gate.q1);
+            if (live[q0] || live[q1])
+                live[q0] = live[q1] = 1;
+            return;
+        }
+        // Pure 1q unitary: liveness of its qubit is unchanged.
+    });
+
+    size_t reported = 0;
+    size_t suppressed = 0;
+    for (size_t g = 0; g < gates.size(); ++g) {
+        const Gate &gate = gates[g];
+        if (!isPureUnitary1q(gate))
+            continue;
+        if (liveness.factsAt(g)[static_cast<size_t>(gate.q0)])
+            continue;
+        if (reported == kMaxReports) {
+            ++suppressed;
+            continue;
+        }
+        ++reported;
+        engine.report(
+            "AB108",
+            provenance ? provenance->at(g) : SourceLoc{},
+            strformat("gate %zu (%s): qubit q%d is never measured "
+                      "or entangled afterwards, so the gate has no "
+                      "observable effect",
+                      g, gate.toString().c_str(), gate.q0));
+    }
+    if (suppressed > 0)
+        engine.report("AB108", SourceLoc{},
+                      strformat("... and %zu more gates on dead "
+                                "qubits",
+                                suppressed));
+}
+
+void
+lintDeadMeasurements(const qasm::Program &program,
+                     DiagnosticEngine &engine,
+                     const std::string &file)
+{
+    // Flatten creg bits into one dense fact domain.
+    std::map<std::string, std::pair<size_t, int>> layout;
+    size_t total_bits = 0;
+    for (const auto &[name, size] : program.cregs) {
+        layout[name] = {total_bits, size};
+        total_bits += static_cast<size_t>(size);
+    }
+    if (total_bits == 0 || program.statements.empty())
+        return;
+
+    // pending_line[b] = source line of the not-yet-overwritten
+    // measurement into bit b (side table next to the bit-vector
+    // facts; the facts alone drive the dead-store decision).
+    std::vector<int> pending_line(total_bits, 0);
+    size_t reported = 0;
+    size_t suppressed = 0;
+
+    DataflowEngine reaching(program.statements.size(), total_bits,
+                            DataflowDirection::Forward);
+    reaching.run([&](size_t s, std::vector<uint8_t> &pending) {
+        const auto *m =
+            std::get_if<qasm::MeasureStmt>(&program.statements[s]);
+        if (!m)
+            return; // only measurements touch creg bits
+        const auto it = layout.find(m->dst.reg);
+        if (it == layout.end())
+            return; // undeclared creg: AB105's report, not ours
+        const auto [offset, size] = it->second;
+        const int src_size = program.qregSize(m->src.reg);
+        // Element-wise bits written: one for an indexed dst, the
+        // broadcast width for a whole-register measure.
+        int first = 0;
+        int count = 0;
+        if (m->dst.wholeRegister()) {
+            first = 0;
+            count = m->src.wholeRegister()
+                        ? std::min(size, std::max(0, src_size))
+                        : 1;
+        } else {
+            first = m->dst.index;
+            count = 1;
+        }
+        for (int b = first; b < first + count; ++b) {
+            if (b < 0 || b >= size)
+                continue; // out-of-range bits are AB105's report
+            const size_t bit = offset + static_cast<size_t>(b);
+            if (pending[bit]) {
+                if (reported == kMaxReports) {
+                    ++suppressed;
+                } else {
+                    ++reported;
+                    engine.report(
+                        "AB109",
+                        SourceLoc{file, pending_line[bit]},
+                        strformat(
+                            "measurement into %s[%d] is overwritten "
+                            "at line %d before being read",
+                            m->dst.reg.c_str(), b, m->line));
+                }
+            }
+            pending[bit] = 1;
+            pending_line[bit] = m->line;
+        }
+    });
+    if (suppressed > 0)
+        engine.report("AB109", SourceLoc{file, 0},
+                      strformat("... and %zu more overwritten "
+                                "measurements",
+                                suppressed));
+}
+
+} // namespace lint
+} // namespace autobraid

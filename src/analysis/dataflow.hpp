@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Dataflow framework over straight-line op sequences, and the lints
+ * built on it (AB108 dead qubit gates, AB109 dead measurements).
+ *
+ * Circuits and OpenQASM 2 programs in this repo are straight-line
+ * (no classical control flow), so a dataflow fact lattice needs no
+ * worklist: a single forward or backward sweep reaches the fixed
+ * point. The framework keeps the sweep direction, the dense
+ * bit-vector state, and the per-op snapshots generic so analyses
+ * share one traversal shape:
+ *  - qubit liveness (backward): is this qubit still observed —
+ *    measured, or entangled into something measured — later on?
+ *    Powers AB108: a pure single-qubit unitary on a dead qubit has
+ *    no observable effect.
+ *  - reaching measurement (forward): which creg bits hold a
+ *    measurement result that nothing has overwritten? Powers AB109:
+ *    a measurement whose destination bit is overwritten before the
+ *    end of the program can never be read (the subset has no `if`).
+ */
+
+#ifndef AUTOBRAID_ANALYSIS_DATAFLOW_HPP
+#define AUTOBRAID_ANALYSIS_DATAFLOW_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/circuit_lints.hpp"
+
+namespace autobraid {
+namespace lint {
+
+/** Sweep direction of a dataflow analysis. */
+enum class DataflowDirection
+{
+    Forward,
+    Backward,
+};
+
+/**
+ * Dense bit-vector dataflow over @c num_ops straight-line ops with a
+ * @c domain -element fact set. run() applies the transfer function in
+ * sweep order and snapshots the state *entering* each op — the facts
+ * before the op for Forward, the facts after it for Backward.
+ */
+class DataflowEngine
+{
+  public:
+    DataflowEngine(size_t num_ops, size_t domain,
+                   DataflowDirection direction)
+        : num_ops_(num_ops), domain_(domain), direction_(direction)
+    {
+    }
+
+    /** Sweep with @p transfer(op_index, state). */
+    void run(
+        const std::function<void(size_t, std::vector<uint8_t> &)>
+            &transfer);
+
+    /** Facts entering op @p op (see class comment); run() first. */
+    const std::vector<uint8_t> &factsAt(size_t op) const
+    {
+        return facts_[op];
+    }
+
+  private:
+    size_t num_ops_;
+    size_t domain_;
+    DataflowDirection direction_;
+    std::vector<std::vector<uint8_t>> facts_;
+};
+
+/**
+ * AB108: pure single-qubit unitaries acting on a qubit that is never
+ * subsequently measured or entangled (backward liveness). Gates in
+ * @p reset_gates are treated as kills, not observations. Skipped
+ * entirely for circuits with no measurement at all — benchmark
+ * kernels leave final readout implicit.
+ */
+void lintDeadGates(const Circuit &circuit, DiagnosticEngine &engine,
+                   const GateProvenance *provenance = nullptr,
+                   const std::vector<GateIdx> *reset_gates = nullptr);
+
+/**
+ * AB109: measurements whose destination creg bit is overwritten by a
+ * later measurement before the program ends (forward
+ * reaching-measurement). With no classical control flow in the
+ * OpenQASM 2 subset, an overwritten result is unobservable.
+ */
+void lintDeadMeasurements(const qasm::Program &program,
+                          DiagnosticEngine &engine,
+                          const std::string &file = "");
+
+} // namespace lint
+} // namespace autobraid
+
+#endif // AUTOBRAID_ANALYSIS_DATAFLOW_HPP

@@ -64,6 +64,13 @@ diagnosticCatalog()
         {"AB107", Severity::Note,
          "magic-state hotspot: one qubit consumes a dominant share of "
          "the T/rotation gates"},
+        {"AB108", Severity::Note,
+         "gate on a dead qubit: the qubit is never measured or "
+         "entangled afterwards, so the gate has no observable "
+         "effect"},
+        {"AB109", Severity::Warning,
+         "dead measurement: its classical destination bit is "
+         "overwritten by a later measurement before being read"},
         {"AB201", Severity::Error,
          "tile whose four corner vertices are all dead: any braid "
          "touching it is statically unroutable"},
@@ -83,6 +90,18 @@ diagnosticCatalog()
         {"AB302", Severity::Note,
          "four pairwise strictly-interfering CX gates in one layer "
          "(Theorem 3 obstruction)"},
+        // AB4xx: schedule-level advisories (post-schedule lint pass).
+        {"AB401", Severity::Note,
+         "optimality gap: the achieved makespan exceeds the "
+         "certified lower bound (critical path / channel capacity) "
+         "by more than the advisory threshold"},
+        {"AB402", Severity::Note,
+         "congestion hotspot: one routing vertex is busy for a "
+         "dominant share of the schedule (flight-recording "
+         "heatmap)"},
+        {"AB403", Severity::Note,
+         "idle-resource window: a long stretch of the schedule has "
+         "no braid or merge region in flight"},
     };
     return catalog;
 }
@@ -143,7 +162,19 @@ DiagnosticEngine::report(const char *code, Severity severity,
         severity == Severity::Note)
         return;
     diagnostics_.push_back(
-        {code, severity, std::move(message), std::move(loc)});
+        {code, severity, std::move(message), std::move(loc), {}});
+}
+
+void
+DiagnosticEngine::reportWithFix(const char *code, SourceLoc loc,
+                                std::string message,
+                                std::vector<FixReplacement> fixes)
+{
+    const size_t before = diagnostics_.size();
+    report(code, std::move(loc), std::move(message));
+    // Attach only when the diagnostic survived suppression/filtering.
+    if (diagnostics_.size() > before)
+        diagnostics_.back().fixes = std::move(fixes);
 }
 
 size_t
@@ -217,6 +248,30 @@ DiagnosticEngine::toSarif() const
                 results += strformat(",\"startColumn\":%d",
                                      d.loc.column);
             results += "}}}]";
+        }
+        if (!d.fixes.empty()) {
+            // SARIF fix objects: one artifactChange per touched
+            // file, whole-line replacements (endLine = startLine,
+            // no columns; empty insertedContent deletes the line).
+            results += ",\"fixes\":[{\"description\":{\"text\":"
+                       "\"mechanical fix\"},\"artifactChanges\":[";
+            for (size_t f = 0; f < d.fixes.size(); ++f) {
+                const FixReplacement &fix = d.fixes[f];
+                if (f)
+                    results += ",";
+                results += strformat(
+                    "{\"artifactLocation\":{\"uri\":\"%s\"},"
+                    "\"replacements\":[{\"deletedRegion\":{"
+                    "\"startLine\":%d,\"endLine\":%d}",
+                    jsonEscape(fix.file).c_str(), fix.line,
+                    fix.line);
+                if (!fix.text.empty())
+                    results += strformat(
+                        ",\"insertedContent\":{\"text\":\"%s\"}",
+                        jsonEscape(fix.text).c_str());
+                results += "}]}";
+            }
+            results += "]}]";
         }
         results += "}";
     }

@@ -56,6 +56,21 @@ struct SourceLoc
     std::string toString() const;
 };
 
+/**
+ * A mechanically safe source rewrite attached to a diagnostic:
+ * replace the whole 1-based @c line of @c file with @c text (empty
+ * text deletes the line). Line-granular on purpose — the QASM subset
+ * is one statement per line, and whole-line edits compose without
+ * column bookkeeping. Applied by autobraid_lint --fix and exported
+ * in the SARIF `fixes` property.
+ */
+struct FixReplacement
+{
+    std::string file;
+    int line = 0;
+    std::string text; ///< replacement line; "" = delete the line
+};
+
 /** One emitted diagnostic. */
 struct Diagnostic
 {
@@ -63,6 +78,9 @@ struct Diagnostic
     Severity severity = Severity::Warning;
     std::string message;
     SourceLoc loc;
+
+    /** Optional mechanical fix (empty = no auto-fix known). */
+    std::vector<FixReplacement> fixes;
 
     /** "file:3:5: error: message [AB101]". */
     std::string toString() const;
@@ -114,6 +132,15 @@ class DiagnosticEngine
     /** Report with an explicit severity (overrides the catalog). */
     void report(const char *code, Severity severity, SourceLoc loc,
                 std::string message);
+
+    /**
+     * Report with the catalog severity and an attached mechanical
+     * fix; @p fixes is dropped along with the diagnostic when it is
+     * suppressed or filtered.
+     */
+    void reportWithFix(const char *code, SourceLoc loc,
+                       std::string message,
+                       std::vector<FixReplacement> fixes);
 
     /** Surviving diagnostics, in emission order. */
     const std::vector<Diagnostic> &diagnostics() const

@@ -1,0 +1,93 @@
+#include "analysis/fixit.hpp"
+
+#include <map>
+
+#include "common/text.hpp"
+
+namespace autobraid {
+namespace lint {
+
+FixResult
+applyFixes(const std::string &text,
+           const std::vector<FixReplacement> &fixes)
+{
+    // Split keeping line identity; remember whether the final line
+    // had a trailing newline so round-tripping is byte-faithful.
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        const size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(pos));
+            pos = text.size();
+        } else {
+            lines.push_back(text.substr(pos, nl - pos));
+            pos = nl + 1;
+        }
+    }
+    const bool ends_with_newline =
+        text.empty() || text.back() == '\n';
+
+    // Group edits per original line; identical duplicates collapse,
+    // conflicting edits of one line are all skipped (conservative).
+    struct Edit
+    {
+        std::string replacement;
+        size_t count = 0;
+        bool conflict = false;
+    };
+    std::map<int, Edit> edits;
+    FixResult result;
+    for (const FixReplacement &fix : fixes) {
+        if (fix.line < 1 ||
+            static_cast<size_t>(fix.line) > lines.size()) {
+            ++result.skipped;
+            continue;
+        }
+        Edit &e = edits[fix.line];
+        if (e.count == 0)
+            e.replacement = fix.text;
+        else if (e.replacement != fix.text)
+            e.conflict = true;
+        ++e.count;
+    }
+
+    std::string out;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const auto it = edits.find(static_cast<int>(i) + 1);
+        if (it == edits.end() || it->second.conflict) {
+            if (it != edits.end()) // conflicting edits dropped
+                result.skipped += it->second.count;
+            out += lines[i];
+            out += '\n';
+            continue;
+        }
+        ++result.applied;
+        result.changed = true;
+        if (it->second.replacement.empty())
+            continue; // delete the line
+        out += it->second.replacement;
+        out += '\n';
+    }
+    if (!ends_with_newline && !out.empty() && out.back() == '\n')
+        out.pop_back();
+    result.text = std::move(out);
+    if (!result.changed)
+        result.text = text;
+    return result;
+}
+
+std::vector<FixReplacement>
+collectFixesForFile(const std::vector<Diagnostic> &diagnostics,
+                    const std::string &file)
+{
+    std::vector<FixReplacement> fixes;
+    for (const Diagnostic &d : diagnostics)
+        for (const FixReplacement &fix : d.fixes)
+            if (fix.file == file)
+                fixes.push_back(fix);
+    return fixes;
+}
+
+} // namespace lint
+} // namespace autobraid

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Mechanical fix application for autobraid_lint --fix.
+ *
+ * Fixes are whole-line replacements (FixReplacement) collected from
+ * diagnostics. Application is conservative: fixes for one file are
+ * grouped, duplicate edits of the same line are deduplicated when
+ * identical and both skipped when they conflict, and the line numbers
+ * always refer to the ORIGINAL file so one pass applies every fix
+ * without offset bookkeeping.
+ */
+
+#ifndef AUTOBRAID_ANALYSIS_FIXIT_HPP
+#define AUTOBRAID_ANALYSIS_FIXIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace autobraid {
+namespace lint {
+
+/** Outcome of applying fixes to one file's text. */
+struct FixResult
+{
+    std::string text;    ///< rewritten file contents
+    size_t applied = 0;  ///< line edits performed
+    size_t skipped = 0;  ///< edits dropped (conflict / bad line)
+    bool changed = false;
+};
+
+/**
+ * Apply @p fixes to @p text (the original file contents). Line
+ * numbers are 1-based into @p text; an empty replacement deletes the
+ * line. Fixes whose line is out of range, or that conflict with a
+ * different edit of the same line, are counted in `skipped`.
+ */
+FixResult applyFixes(const std::string &text,
+                     const std::vector<FixReplacement> &fixes);
+
+/** All fixes attached to @p diagnostics that target @p file. */
+std::vector<FixReplacement>
+collectFixesForFile(const std::vector<Diagnostic> &diagnostics,
+                    const std::string &file);
+
+} // namespace lint
+} // namespace autobraid
+
+#endif // AUTOBRAID_ANALYSIS_FIXIT_HPP

@@ -49,7 +49,7 @@ void runCircuitAnalyses(const Circuit &circuit, const Grid &grid,
                         const GateProvenance *provenance = nullptr,
                         const LintRunConfig &config = {});
 
-/** Run the AST-level analyses (AB101/AB102/AB104/AB105). */
+/** Run the AST-level analyses (AB101-AB105, AB109). */
 void runProgramAnalyses(const qasm::Program &program,
                         DiagnosticEngine &engine,
                         const std::string &file = "");

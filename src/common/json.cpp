@@ -1,5 +1,6 @@
 #include "common/json.hpp"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -47,8 +48,13 @@ class Parser
     }
 
   private:
+    // Containers may nest at most this deep; recursive descent means
+    // unbounded input depth would otherwise exhaust the stack.
+    static constexpr int kMaxDepth = 64;
+
     const std::string &text_;
     size_t pos_ = 0;
+    int depth_ = 0;
 
     [[noreturn]] void fail(const char *what)
     {
@@ -62,8 +68,9 @@ class Parser
                 ++col;
             }
         }
-        fatal("JSON parse error at line %zu column %zu: %s", line,
-              col, what);
+        fatal("JSON parse error at line %zu column %zu (byte %zu): "
+              "%s",
+              line, col, pos_, what);
     }
 
     bool eof() const { return pos_ >= text_.size(); }
@@ -103,10 +110,20 @@ class Parser
         if (eof())
             fail("unexpected end of input");
         switch (peek()) {
-        case '{':
-            return parseObject();
-        case '[':
-            return parseArray();
+        case '{': {
+            if (++depth_ > kMaxDepth)
+                fail("nesting depth exceeds 64");
+            Value v = parseObject();
+            --depth_;
+            return v;
+        }
+        case '[': {
+            if (++depth_ > kMaxDepth)
+                fail("nesting depth exceeds 64");
+            Value v = parseArray();
+            --depth_;
+            return v;
+        }
         case '"':
             return Value(parseString());
         case 't':
@@ -221,31 +238,40 @@ class Parser
                 out += '\t';
                 break;
             case 'u': {
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    if (eof())
-                        fail("truncated \\u escape");
-                    const char h = text_[pos_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        fail("invalid \\u escape");
+                unsigned code = readHex4();
+                if (code >= 0xDC00 && code <= 0xDFFF)
+                    fail("lone low surrogate in \\u escape");
+                if (code >= 0xD800 && code <= 0xDBFF) {
+                    // A high surrogate is only valid when paired with
+                    // an immediately following \u low surrogate.
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        fail("lone high surrogate in \\u escape");
+                    pos_ += 2;
+                    const unsigned lo = readHex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("high surrogate not followed by low "
+                             "surrogate in \\u escape");
+                    code = 0x10000 + ((code - 0xD800) << 10) +
+                           (lo - 0xDC00);
                 }
-                // UTF-8 encode the BMP code point; our exporters only
-                // emit \u00XX control escapes, but accept the full
-                // range (surrogate pairs decode as two code points).
+                // UTF-8 encode; our exporters only emit \u00XX
+                // control escapes, but accept the full code-point
+                // range including supplementary-plane pairs.
                 if (code < 0x80) {
                     out += static_cast<char>(code);
                 } else if (code < 0x800) {
                     out += static_cast<char>(0xC0 | (code >> 6));
                     out += static_cast<char>(0x80 | (code & 0x3F));
-                } else {
+                } else if (code < 0x10000) {
                     out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xF0 | (code >> 18));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 12) & 0x3F));
                     out += static_cast<char>(0x80 |
                                              ((code >> 6) & 0x3F));
                     out += static_cast<char>(0x80 | (code & 0x3F));
@@ -256,6 +282,26 @@ class Parser
                 fail("invalid escape character");
             }
         }
+    }
+
+    unsigned readHex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (eof())
+                fail("truncated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+                code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return code;
     }
 
     Value parseNumber()
@@ -278,6 +324,10 @@ class Parser
         const double v = std::strtod(token.c_str(), &end);
         if (end == token.c_str() || *end != '\0')
             fail("malformed number");
+        // JSON has no NaN/Infinity; also reject finite-looking
+        // tokens that overflow to infinity (e.g. 1e999).
+        if (!std::isfinite(v))
+            fail("number is not finite");
         return Value(v);
     }
 };

@@ -2,6 +2,8 @@
 
 #include "circuit/circuit.hpp"
 #include "compiler/lint_pass.hpp"
+#include "compiler/schedule_export_pass.hpp"
+#include "compiler/schedule_lint_pass.hpp"
 
 namespace autobraid {
 
@@ -24,9 +26,19 @@ compileCircuit(const Circuit &circuit, const CompileOptions &options)
     PassManager passes = PassManager::standardPipeline();
     // Linting is opt-in: the standard pipeline (and the tests pinning
     // its exact pass list) stays unchanged unless a level is set.
-    if (options.lint_level != lint::LintLevel::Off)
+    if (options.lint_level != lint::LintLevel::Off) {
         passes.insertAfter("initial-placement",
                            std::make_unique<LintPass>());
+        passes.append(std::make_unique<ScheduleLintPass>());
+    }
+    if (!options.schedule_out.empty()) {
+        passes.append(std::make_unique<ScheduleExportPass>());
+        // The export is trace-derived; force the trace on so the
+        // certifier sees every scheduled gate.
+        CompileOptions patched = options;
+        patched.record_trace = true;
+        return runPassPipeline(circuit, patched, passes);
+    }
     return runPassPipeline(circuit, options, passes);
 }
 

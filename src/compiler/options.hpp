@@ -101,6 +101,16 @@ struct CompileOptions
     /** Promote lint warnings to errors (CI gating). */
     bool lint_werror = false;
 
+    /**
+     * When non-empty, write a versioned `autobraid-schedule` v1 JSON
+     * export of the final schedule to this path (schedule-export
+     * pass; docs/observability.md). Implies record_trace — the export
+     * is the per-gate trace plus enough layout context for the
+     * independent checker (tools/autobraid_certify) to re-verify the
+     * schedule from scratch.
+     */
+    std::string schedule_out;
+
     /** Build the scheduler config for this option set. */
     SchedulerConfig schedulerConfig() const;
 

@@ -1,0 +1,46 @@
+#include "compiler/schedule_export_pass.hpp"
+
+#include "common/text.hpp"
+#include "sched/schedule_export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace autobraid {
+
+void
+ScheduleExportPass::run(CompileContext &ctx)
+{
+    AUTOBRAID_SPAN("pass.schedule-export");
+    if (ctx.options.schedule_out.empty())
+        return;
+    CompileContext::requireStage(ctx.grid.has_value(), name(),
+                                 "no grid; run "
+                                 "parallelism-analysis first");
+    CompileContext::requireStage(
+        ctx.report.result.gates_scheduled == 0 ||
+            !ctx.report.result.trace.empty(),
+        name(), "no trace; schedule export needs record_trace");
+
+    ScheduleExportInfo info;
+    info.circuit = ctx.circuit;
+    info.grid = &*ctx.grid;
+    info.policy = ctx.options.policy;
+    info.distance = ctx.options.cost.distance;
+    info.channel_hold_cycles = ctx.options.channel_hold_cycles;
+    info.used_maslov = ctx.report.used_maslov;
+    info.dead_vertices = ctx.options.dead_vertices;
+    // The placement is the lint/export-time initial placement; it is
+    // only embedded when it still describes the final layout (no
+    // dynamic relayout or swap network moved qubits), which is
+    // exactly when the certifier's channel bound is sound.
+    if (ctx.placement.has_value() && !ctx.report.used_maslov &&
+        ctx.report.result.swaps_inserted == 0 &&
+        ctx.report.result.layout_invocations == 0)
+        info.placement = &*ctx.placement;
+
+    writeTextFile(ctx.options.schedule_out,
+                  scheduleToJson(info, ctx.report.result));
+    ctx.bump("schedule_exports");
+    ctx.note("schedule-export: wrote " + ctx.options.schedule_out);
+}
+
+} // namespace autobraid

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * ScheduleExportPass: write the `autobraid-schedule` v1 JSON export.
+ *
+ * Serializes the final ScheduleResult (per-gate windows, paths /
+ * merge regions, channel holds) plus the layout context (grid,
+ * distance, dead vertices, placement) to
+ * CompileOptions::schedule_out, in the format consumed by the
+ * independent schedule certifier (analysis/certify.hpp, tool
+ * autobraid_certify). See docs/observability.md for the schema.
+ *
+ * Not part of PassManager::standardPipeline(); compileCircuit()
+ * appends it when schedule_out is non-empty (and forces record_trace,
+ * since the export is trace-derived).
+ */
+
+#ifndef AUTOBRAID_COMPILER_SCHEDULE_EXPORT_PASS_HPP
+#define AUTOBRAID_COMPILER_SCHEDULE_EXPORT_PASS_HPP
+
+#include "compiler/pass.hpp"
+
+namespace autobraid {
+
+/** Schedule-JSON export stage (requires grid + schedule). */
+class ScheduleExportPass final : public Pass
+{
+  public:
+    const char *name() const override { return "schedule-export"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_SCHEDULE_EXPORT_PASS_HPP

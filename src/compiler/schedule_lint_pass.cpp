@@ -1,0 +1,55 @@
+#include "compiler/schedule_lint_pass.hpp"
+
+#include "analysis/schedule_lints.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace autobraid {
+
+void
+ScheduleLintPass::run(CompileContext &ctx)
+{
+    AUTOBRAID_SPAN("pass.schedule-lint");
+    const ScheduleResult &r = ctx.report.result;
+    if (!r.valid || r.makespan == 0)
+        return; // nothing scheduled; nothing to advise on
+
+    auto engine = ctx.report.lint;
+    if (!engine) {
+        engine = std::make_shared<lint::DiagnosticEngine>(
+            ctx.options.lintOptions());
+        ctx.report.lint = engine;
+    }
+    const size_t before = engine->diagnostics().size();
+
+    lint::ScheduleLintInput input;
+    input.makespan = r.makespan;
+    input.critical_path = ctx.report.critical_path;
+    // The channel-capacity bound is only sound for swap-free,
+    // non-Maslov braiding schedules (see docs/static-analysis.md).
+    if (r.swaps_inserted == 0 && !ctx.report.used_maslov &&
+        r.backend == SchedulerBackend::Braiding) {
+        const auto &metrics = engine->metrics();
+        const auto it = metrics.find("channel_bound_cycles");
+        if (it != metrics.end() && it->second > 0)
+            input.channel_bound = static_cast<Cycles>(it->second);
+    }
+    if (r.recording)
+        input.vertex_busy_cycles = r.recording->vertex_busy_cycles;
+    input.windows.reserve(r.trace.size());
+    for (const TraceEntry &e : r.trace)
+        input.windows.emplace_back(
+            e.start, e.channel_release > 0 ? e.channel_release
+                                           : e.finish);
+
+    lint::lintSchedule(input, *engine);
+
+    ctx.bump("schedule_lint_findings",
+             static_cast<long>(engine->diagnostics().size() -
+                               before));
+    for (const auto &[metric, value] : engine->metrics())
+        if (metric.rfind("schedule_", 0) == 0)
+            ctx.bump(metric, value);
+}
+
+} // namespace autobraid

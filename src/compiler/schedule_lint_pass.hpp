@@ -1,0 +1,35 @@
+/**
+ * @file
+ * ScheduleLintPass: the AB4xx schedule-level advisories as a stage.
+ *
+ * Runs after the schedule (and the report pass) with plain summary
+ * data extracted from the ScheduleResult: the achieved makespan, the
+ * critical-path and channel-capacity lower bounds, the flight-
+ * recorder heatmap, and the traced activity windows. Findings are
+ * reported into the compilation's existing lint engine
+ * (CompileReport::lint) when the lint pass ran, or a fresh engine
+ * otherwise — either way they surface through the same
+ * text/SARIF rendering as every other diagnostic.
+ *
+ * Not part of PassManager::standardPipeline(); compileCircuit()
+ * appends it when lint_level != Off.
+ */
+
+#ifndef AUTOBRAID_COMPILER_SCHEDULE_LINT_PASS_HPP
+#define AUTOBRAID_COMPILER_SCHEDULE_LINT_PASS_HPP
+
+#include "compiler/pass.hpp"
+
+namespace autobraid {
+
+/** AB4xx advisory stage (requires a schedule in the report). */
+class ScheduleLintPass final : public Pass
+{
+  public:
+    const char *name() const override { return "schedule-lint"; }
+    void run(CompileContext &ctx) override;
+};
+
+} // namespace autobraid
+
+#endif // AUTOBRAID_COMPILER_SCHEDULE_LINT_PASS_HPP

@@ -21,8 +21,9 @@ sampleSets(const Circuit &circuit, size_t max_sets)
     const double stride = static_cast<double>(sets.size()) /
                           static_cast<double>(max_sets);
     for (size_t i = 0; i < max_sets; ++i)
-        sampled.push_back(
-            std::move(sets[static_cast<size_t>(i * stride)]));
+        sampled.push_back(std::move(
+            sets[static_cast<size_t>(static_cast<double>(i) *
+                                     stride)]));
     return sampled;
 }
 

@@ -121,6 +121,10 @@ struct Program
 {
     std::vector<std::pair<std::string, int>> qregs; ///< declaration order
     std::vector<std::pair<std::string, int>> cregs;
+    /// 1-based source lines of each qreg/creg declaration,
+    /// index-aligned with qregs/cregs (0 when synthesized).
+    std::vector<int> qreg_lines;
+    std::vector<int> creg_lines;
     std::map<std::string, GateDecl> gates;
     std::vector<Statement> statements;
 

@@ -48,13 +48,15 @@ class Elaborator
                 std::visit([](const auto &s) { return s.line; }, stmt);
             lines.resize(circuit_.size(), line);
         }
-        return {std::move(circuit_), std::move(lines)};
+        return {std::move(circuit_), std::move(lines),
+                std::move(reset_gates_)};
     }
 
   private:
     const Program *program_;
     Circuit circuit_;
     std::map<std::string, int> qreg_offset_;
+    std::vector<GateIdx> reset_gates_;
 
     /** Resolve one element of an argument under broadcasting. */
     Qubit
@@ -141,7 +143,8 @@ class Elaborator
         // Modelled as a projective measurement (DESIGN.md substitution).
         const int width = broadcastWidth({r.arg}, r.line);
         for (int b = 0; b < width; ++b)
-            circuit_.measure(resolve(r.arg, b));
+            reset_gates_.push_back(
+                circuit_.measure(resolve(r.arg, b)));
     }
 
     /** A k-qubit barrier as a dependence chain of <=2-qubit barriers. */

@@ -30,6 +30,12 @@ struct ElaboratedCircuit
     Circuit circuit;
     /** 1-based source line of the statement each gate came from. */
     std::vector<int> gate_lines;
+    /**
+     * Indices of Measure gates that lower a `reset` statement. A
+     * reset discards the pre-reset state, so dataflow lints treat
+     * these as kills rather than observations (AB108).
+     */
+    std::vector<GateIdx> reset_gates;
 };
 
 /**

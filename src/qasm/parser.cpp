@@ -113,6 +113,7 @@ class Parser
         }
         if (peekIdent("qreg") || peekIdent("creg")) {
             const bool quantum = peekIdent("qreg");
+            const int decl_line = cur().line;
             take();
             const std::string name = expectIdent("register name");
             expect(TokenKind::LBracket, "'['");
@@ -124,10 +125,13 @@ class Parser
                       name.c_str());
             if (prog.qregSize(name) >= 0 || prog.cregSize(name) >= 0)
                 fatal("qasm: register '%s' redeclared", name.c_str());
-            if (quantum)
+            if (quantum) {
                 prog.qregs.emplace_back(name, size);
-            else
+                prog.qreg_lines.push_back(decl_line);
+            } else {
                 prog.cregs.emplace_back(name, size);
+                prog.creg_lines.push_back(decl_line);
+            }
             return;
         }
         if (peekIdent("gate")) {

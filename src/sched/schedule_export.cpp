@@ -1,0 +1,107 @@
+#include "sched/schedule_export.hpp"
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace autobraid {
+
+std::string
+scheduleToJson(const ScheduleExportInfo &info,
+               const ScheduleResult &result)
+{
+    require(info.circuit != nullptr,
+            "scheduleToJson: circuit is required");
+    require(info.grid != nullptr, "scheduleToJson: grid is required");
+    const Circuit &circuit = *info.circuit;
+    const Grid &grid = *info.grid;
+
+    std::string out;
+    out.reserve(512 + circuit.size() * 48 +
+                result.trace.size() * 96);
+    out += "{\n";
+    out += "  \"format\": \"autobraid-schedule\",\n";
+    out += "  \"version\": 1,\n";
+    out += strformat("  \"circuit\": \"%s\",\n",
+                     jsonEscape(circuit.name()).c_str());
+    out += strformat("  \"policy\": \"%s\",\n",
+                     policyName(info.policy));
+    out += strformat("  \"backend\": \"%s\",\n",
+                     backendCliName(result.backend));
+    out += strformat("  \"distance\": %d,\n", info.distance);
+    out += strformat("  \"grid_rows\": %d,\n", grid.rows());
+    out += strformat("  \"grid_cols\": %d,\n", grid.cols());
+    out += strformat("  \"num_qubits\": %d,\n", circuit.numQubits());
+    out += strformat(
+        "  \"channel_hold_cycles\": %llu,\n",
+        static_cast<unsigned long long>(info.channel_hold_cycles));
+    out += strformat("  \"used_maslov\": %s,\n",
+                     info.used_maslov ? "true" : "false");
+    out += strformat(
+        "  \"swaps_inserted\": %zu,\n  \"braids_routed\": %zu,\n",
+        result.swaps_inserted, result.braids_routed);
+    out += strformat("  \"makespan\": %llu,\n",
+                     static_cast<unsigned long long>(result.makespan));
+
+    out += "  \"dead_vertices\": [";
+    for (size_t i = 0; i < info.dead_vertices.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += strformat("%d", info.dead_vertices[i]);
+    }
+    out += "],\n";
+
+    if (info.placement) {
+        out += "  \"placement\": [";
+        for (Qubit q = 0; q < circuit.numQubits(); ++q) {
+            if (q)
+                out += ", ";
+            out += strformat("%d", info.placement->cellIdOf(q));
+        }
+        out += "],\n";
+    }
+
+    out += "  \"gates\": [\n";
+    for (size_t g = 0; g < circuit.size(); ++g) {
+        const Gate &gate = circuit.gate(g);
+        out += strformat("    {\"kind\": \"%s\", \"q0\": %d, "
+                         "\"q1\": %d}%s\n",
+                         gateName(gate.kind), gate.q0, gate.q1,
+                         g + 1 < circuit.size() ? "," : "");
+    }
+    out += "  ],\n";
+
+    out += "  \"schedule\": [\n";
+    for (size_t i = 0; i < result.trace.size(); ++i) {
+        const TraceEntry &e = result.trace[i];
+        // kNoGate (inserted SWAP) exports as gate -1.
+        out += strformat(
+            "    {\"gate\": %lld, \"start\": %llu, "
+            "\"finish\": %llu, \"release\": %llu",
+            e.gate == kNoGate ? -1LL
+                              : static_cast<long long>(e.gate),
+            static_cast<unsigned long long>(e.start),
+            static_cast<unsigned long long>(e.finish),
+            static_cast<unsigned long long>(
+                e.channel_release > 0 ? e.channel_release
+                                      : e.finish));
+        if (e.swap_a != kNoQubit || e.swap_b != kNoQubit)
+            out += strformat(", \"swap_a\": %d, \"swap_b\": %d",
+                             e.swap_a, e.swap_b);
+        out += ", \"path\": [";
+        for (size_t v = 0; v < e.path.vertices.size(); ++v) {
+            if (v)
+                out += ", ";
+            out += strformat("%d", e.path.vertices[v]);
+        }
+        out += "]}";
+        if (i + 1 < result.trace.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace autobraid

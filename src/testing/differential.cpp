@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <exception>
 
+#include "analysis/certify.hpp"
 #include "analysis/lint.hpp"
 #include "common/error.hpp"
 #include "common/text.hpp"
 #include "compiler/batch.hpp"
 #include "place/initial.hpp"
 #include "place/placement.hpp"
+#include "sched/schedule_export.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/validator.hpp"
 #include "telemetry/telemetry.hpp"
@@ -98,6 +100,66 @@ void checkRecorderLifecycle(const FuzzCase &c, const char *name,
                             const ScheduleResult &r,
                             std::vector<std::string> &failures);
 
+/** "full" on braiding, "full@surgery" on the other backend. */
+std::string
+policyLabel(const FuzzCase &c, SchedulerPolicy policy)
+{
+    return c.options.backend == SchedulerBackend::Braiding
+               ? std::string(policyName(policy))
+               : strformat("%s@%s", policyName(policy),
+                           backendCliName(c.options.backend));
+}
+
+/**
+ * Export -> certify round-trip oracle: serialize the run's trace as an
+ * autobraid-schedule v1 document and push it through the independent
+ * certifier. A schedule the strengthened validator already accepted
+ * must always come back CERTIFIED; a rejection means the scheduler,
+ * the exporter, and the certifier disagree about the schedule's
+ * semantics. No placement is embedded (compileCircuit keeps it
+ * internal), so the AB202 channel bound is simply not recomputed here;
+ * the per-qubit critical-path lower bound still is, and still must not
+ * exceed the achieved makespan.
+ */
+void
+checkCertifyOracle(const FuzzCase &c, const char *name,
+                   SchedulerPolicy policy, const CompileReport &report,
+                   std::vector<std::string> &failures)
+{
+    auto fail = [&failures, &c, name](const std::string &what) {
+        AUTOBRAID_COUNT("fuzz.certify_failures");
+        failures.push_back(strformat("[%s] certify: %s — %s", name,
+                                     what.c_str(),
+                                     c.summary().c_str()));
+    };
+    const Grid grid = Grid::forQubits(c.circuit.numQubits());
+    ScheduleExportInfo info;
+    info.circuit = &c.circuit;
+    info.grid = &grid;
+    info.policy = policy;
+    info.distance = c.options.cost.distance;
+    info.channel_hold_cycles = c.options.channel_hold_cycles;
+    info.used_maslov = report.used_maslov;
+    info.dead_vertices = c.options.dead_vertices;
+    try {
+        const certify::Certificate cert =
+            certify::certifyScheduleText(
+                scheduleToJson(info, report.result));
+        if (cert.ok)
+            return;
+        std::string what = "rejected a valid schedule:";
+        const size_t shown = std::min<size_t>(cert.violations.size(), 3);
+        for (size_t i = 0; i < shown; ++i)
+            what += " " + cert.violations[i].toString() + ";";
+        if (cert.violations.size() > shown)
+            what += strformat(" (+%zu more)",
+                              cert.violations.size() - shown);
+        fail(what);
+    } catch (const std::exception &e) {
+        fail(strformat("round-trip threw: %s", e.what()));
+    }
+}
+
 /**
  * Validate one compiled policy run and append invariant breaches.
  * @p grid is used for path-geometry checks only when the placement
@@ -107,13 +169,9 @@ void
 checkPolicyRun(const FuzzCase &c, const PolicyOutcome &run,
                std::vector<std::string> &failures)
 {
-    const std::string label =
-        c.options.backend == SchedulerBackend::Braiding
-            ? std::string(policyName(run.policy))
-            : strformat("%s@%s", policyName(run.policy),
-                        backendCliName(c.options.backend));
+    const std::string label = policyLabel(c, run.policy);
     const char *name = label.c_str();
-    auto fail = [&failures, &c, name](std::string what) {
+    auto fail = [&failures, &c, name](const std::string &what) {
         failures.push_back(strformat("[%s] %s — %s", name,
                                      what.c_str(),
                                      c.summary().c_str()));
@@ -192,7 +250,7 @@ checkRecorderLifecycle(const FuzzCase &c, const char *name,
                        const ScheduleResult &r,
                        std::vector<std::string> &failures)
 {
-    auto fail = [&failures, &c, name](std::string what) {
+    auto fail = [&failures, &c, name](const std::string &what) {
         AUTOBRAID_COUNT("fuzz.recorder_violations");
         failures.push_back(strformat("[%s] recorder: %s — %s", name,
                                      what.c_str(),
@@ -285,7 +343,7 @@ checkLintNeverCrashes(const FuzzCase &c,
 
 DifferentialResult
 runDifferentialCase(const FuzzCase &c, unsigned mask,
-                    bool lint_oracle)
+                    bool lint_oracle, bool certify_oracle)
 {
     AUTOBRAID_SPAN("fuzz.differential_case");
     DifferentialResult out;
@@ -311,6 +369,9 @@ runDifferentialCase(const FuzzCase &c, unsigned mask,
         }
         AUTOBRAID_COUNT("fuzz.policy_runs");
         checkPolicyRun(c, run, out.failures);
+        if (certify_oracle && run.compiled && run.report.result.valid)
+            checkCertifyOracle(c, policyLabel(c, run.policy).c_str(),
+                               run.policy, run.report, out.failures);
         out.runs.push_back(std::move(run));
     }
     // Cross-policy: all policies must agree on the dependence-derived
@@ -336,7 +397,7 @@ runDifferentialCase(const FuzzCase &c, unsigned mask,
 }
 
 CrossBackendResult
-runCrossBackendCase(const FuzzCase &c)
+runCrossBackendCase(const FuzzCase &c, bool certify_oracle)
 {
     AUTOBRAID_SPAN("fuzz.cross_backend_case");
     CrossBackendResult out;
@@ -349,7 +410,7 @@ runCrossBackendCase(const FuzzCase &c)
         opt.record_trace = true;
         opt.record_lifecycle = true;
         opt.lint_level = lint::LintLevel::Off;
-        auto fail = [&out, &c, backend](std::string what) {
+        auto fail = [&out, &c, backend](const std::string &what) {
             out.failures.push_back(
                 strformat("[cross/%s] %s — %s",
                           backendCliName(backend), what.c_str(),
@@ -385,6 +446,13 @@ runCrossBackendCase(const FuzzCase &c)
                     report.critical_path)));
         checkRecorderLifecycle(c, backendCliName(backend), r,
                                out.failures);
+        if (certify_oracle) {
+            const std::string label =
+                strformat("cross/%s", backendCliName(backend));
+            checkCertifyOracle(c, label.c_str(),
+                               SchedulerPolicy::AutobraidFull, report,
+                               out.failures);
+        }
         if (backend == SchedulerBackend::Braiding)
             out.makespan_braiding = r.makespan;
         else

@@ -20,6 +20,15 @@
  * schedule (routed around the defect), and the AB202 channel-capacity
  * bound must not exceed the achieved makespan on swap-free,
  * non-Maslov schedules.
+ *
+ * With the certify oracle enabled (also the default), every valid
+ * schedule is additionally round-tripped through the versioned export
+ * (sched/schedule_export) and the independent certifier
+ * (analysis/certify): serialize the trace as an autobraid-schedule v1
+ * document, re-parse it, and require a clean certificate. A rejection
+ * means the scheduler, the exporter, and the certifier disagree about
+ * the schedule's semantics — exactly the drift the certifier exists
+ * to catch.
  */
 
 #ifndef AUTOBRAID_TESTING_DIFFERENTIAL_HPP
@@ -78,13 +87,16 @@ struct DifferentialResult
  * Compile @p c under every policy in @p mask and cross-check. When
  * @p lint_oracle is set, the pipeline runs with lint_level = All and
  * the lint invariants above are checked alongside the schedule ones.
- * The case's CompileOptions::backend selects the communication
- * backend; every per-policy oracle is backend-aware (the AB202 bound
- * check only applies to braiding schedules).
+ * When @p certify_oracle is set, every valid schedule is round-tripped
+ * through scheduleToJson -> certifySchedule and must come back with a
+ * clean certificate. The case's CompileOptions::backend selects the
+ * communication backend; every per-policy oracle is backend-aware
+ * (the AB202 bound check only applies to braiding schedules).
  */
 DifferentialResult runDifferentialCase(const FuzzCase &c,
                                        unsigned mask = kMaskAll,
-                                       bool lint_oracle = true);
+                                       bool lint_oracle = true,
+                                       bool certify_oracle = true);
 
 /** Cross-backend comparison of one case (reporting, not asserting). */
 struct CrossBackendResult
@@ -101,9 +113,11 @@ struct CrossBackendResult
  * makespan >= the backend's critical path). The two makespans are
  * returned for reporting; they are deliberately never asserted equal —
  * braiding and lattice surgery are different semantics, the point is a
- * side-by-side comparison, not agreement.
+ * side-by-side comparison, not agreement. With @p certify_oracle set,
+ * both backends' schedules also round-trip through export -> certify.
  */
-CrossBackendResult runCrossBackendCase(const FuzzCase &c);
+CrossBackendResult runCrossBackendCase(const FuzzCase &c,
+                                       bool certify_oracle = true);
 
 /**
  * Compile the case's policy variants through BatchCompiler with 1

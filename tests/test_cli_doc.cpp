@@ -1,11 +1,13 @@
 /**
  * @file
- * Guards the autobraid_cli documentation against drift: the option list
- * in the file's header comment, the usage() text, and the flags
- * parseArgs() actually accepts are extracted from the tool's source
- * (path injected via AB_CLI_SOURCE) and compared as sets. This is the
+ * Guards the tool documentation against drift: the option list in each
+ * tool's header comment, the usage() text, and the flags parseArgs()
+ * actually accepts are extracted from the tool's source (paths
+ * injected via AB_*_SOURCE) and compared as sets. This is the
  * regression test for the historical bug where --teleport and --stats
- * existed in usage() but were missing from the header comment.
+ * existed in usage() but were missing from the header comment. The
+ * shared exit-code convention (0 success, 1 findings/regression,
+ * 2 usage or input parse error) is asserted across all five tools.
  */
 
 #include <gtest/gtest.h>
@@ -20,14 +22,34 @@
 namespace {
 
 std::string
-readCliSource()
+readSource(const char *path)
 {
-    std::ifstream in(AB_CLI_SOURCE);
-    EXPECT_TRUE(in.good()) << "cannot open " << AB_CLI_SOURCE;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
 }
+
+std::string
+readCliSource()
+{
+    return readSource(AB_CLI_SOURCE);
+}
+
+struct ToolSource
+{
+    const char *name;
+    const char *path;
+};
+
+constexpr ToolSource kTools[] = {
+    {"autobraid_cli", AB_CLI_SOURCE},
+    {"autobraid_fuzz", AB_FUZZ_SOURCE},
+    {"autobraid_lint", AB_LINT_SOURCE},
+    {"autobraid_inspect", AB_INSPECT_SOURCE},
+    {"autobraid_certify", AB_CERTIFY_SOURCE},
+};
 
 /** Every distinct "--flag" token in @p text. */
 std::set<std::string>
@@ -100,6 +122,49 @@ TEST(CliDoc, UsageOnlyAdvertisesParsedFlags)
                               usage.begin(), usage.end()))
         << "usage() advertises: " << describe(usage)
         << "\nparseArgs accepts: " << describe(parsed);
+}
+
+// Every tool's usage() may only advertise flags its header comment
+// documents — the header is the canonical option reference.
+TEST(ToolDoc, UsageFlagsDocumentedInEveryHeader)
+{
+    for (const ToolSource &tool : kTools) {
+        const std::string src = readSource(tool.path);
+        const auto header =
+            extractFlags(section(src, "/**", "#include"));
+        const auto usage =
+            extractFlags(section(src, "usage(int", "std::exit"));
+        EXPECT_FALSE(usage.empty()) << tool.name;
+        EXPECT_TRUE(std::includes(header.begin(), header.end(),
+                                  usage.begin(), usage.end()))
+            << tool.name
+            << " usage() advertises: " << describe(usage)
+            << "\nheader documents: " << describe(header);
+    }
+}
+
+// Shared exit-code convention: every tool documents its exit codes in
+// the header comment and actually wires UserError to exit code 2 (bad
+// usage / input parse), distinct from 1 (findings or failures).
+TEST(ToolDoc, SharedExitCodeConvention)
+{
+    for (const ToolSource &tool : kTools) {
+        const std::string src = readSource(tool.path);
+        const std::string header = section(src, "/**", "#include");
+        const size_t exit_doc = header.find("Exit");
+        EXPECT_NE(exit_doc, std::string::npos)
+            << tool.name << " header must document exit codes";
+        if (exit_doc != std::string::npos) {
+            const std::string doc = header.substr(exit_doc);
+            EXPECT_NE(doc.find('0'), std::string::npos) << tool.name;
+            EXPECT_NE(doc.find('1'), std::string::npos) << tool.name;
+            EXPECT_NE(doc.find('2'), std::string::npos) << tool.name;
+        }
+        EXPECT_NE(src.find("UserError"), std::string::npos)
+            << tool.name << " must distinguish user errors";
+        EXPECT_NE(src.find("return 2"), std::string::npos)
+            << tool.name << " must exit 2 on user errors";
+    }
 }
 
 } // namespace

@@ -1,14 +1,17 @@
 /**
  * @file
  * Unit tests for the common utilities: error types, RNG, statistics
- * accumulators, and text helpers.
+ * accumulators, text helpers, and the hardened JSON parser (nesting
+ * cap, surrogate pairs, overflow rejection, error locations).
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/text.hpp"
@@ -212,6 +215,58 @@ TEST(Text, HumanQuantityPaperStyle)
     EXPECT_EQ(humanQuantity(2.5e9), "2.5G");
     EXPECT_EQ(humanQuantity(-1280), "-1.28K");
     EXPECT_EQ(humanQuantity(0), "0");
+}
+
+// --------------------------------------------------------------------
+// Hardened JSON parser (src/common/json): hostile inputs the certifier
+// and the inspect/certify tools must survive.
+// --------------------------------------------------------------------
+
+TEST(Json, NestingCapAt64)
+{
+    std::string ok(64, '[');
+    ok += std::string(64, ']');
+    EXPECT_NO_THROW(json::parse(ok));
+
+    std::string deep(65, '[');
+    deep += std::string(65, ']');
+    EXPECT_THROW(json::parse(deep), UserError);
+}
+
+TEST(Json, LoneSurrogatesRejectedPairsDecode)
+{
+    EXPECT_THROW(json::parse("\"\\ud800\""), UserError);
+    EXPECT_THROW(json::parse("\"\\udc00\""), UserError);
+    EXPECT_THROW(json::parse("\"\\ud800x\""), UserError);
+    // A valid surrogate pair decodes to one UTF-8 code point
+    // (U+1F600).
+    EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"").asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, OverflowingNumberRejected)
+{
+    EXPECT_THROW(json::parse("1e999"), UserError);
+    EXPECT_THROW(json::parse("-1e999"), UserError);
+    EXPECT_DOUBLE_EQ(json::parse("1e3").asNumber(), 1000.0);
+}
+
+TEST(Json, ParseErrorCarriesLineAndColumn)
+{
+    try {
+        json::parse("{\n  \"a\": }");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Json, TrailingContentRejected)
+{
+    EXPECT_THROW(json::parse("{} garbage"), UserError);
+    EXPECT_THROW(json::parse(""), UserError);
 }
 
 } // namespace

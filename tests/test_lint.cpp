@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/fixit.hpp"
 #include "analysis/lint.hpp"
 #include "circuit/peephole.hpp"
 #include "common/error.hpp"
@@ -478,6 +479,67 @@ TEST(CircuitLints, MagicHotspotAB107)
     EXPECT_EQ(codeCount(quiet, "AB107"), 0u);
 }
 
+TEST(CircuitLints, DeadGatesAB108)
+{
+    Circuit c(2, "dead");
+    c.h(0);       // feeds the measurement on q0: live
+    c.x(1);       // q1 never observed afterwards: dead
+    c.measure(0);
+    c.z(0);       // after the measurement: dead
+    DiagnosticEngine e;
+    lint::lintCircuit(c, e);
+    EXPECT_EQ(codeCount(e, "AB108"), 2u);
+}
+
+TEST(CircuitLints, AB108EntanglementKeepsGatesLive)
+{
+    // h q1 is observed transitively: cx entangles q1 with q0, which
+    // is measured.
+    Circuit c(2, "entangled");
+    c.h(1);
+    c.cx(0, 1);
+    c.measure(0);
+    DiagnosticEngine e;
+    lint::lintCircuit(c, e);
+    EXPECT_EQ(codeCount(e, "AB108"), 0u);
+}
+
+TEST(CircuitLints, AB108SilentWithoutMeasurement)
+{
+    // Pure-unitary circuits (benchmark generators, fuzz cases) have
+    // no observation anywhere; flagging every gate would be noise.
+    Circuit c(2, "unitary");
+    c.h(0);
+    c.cx(0, 1);
+    DiagnosticEngine e;
+    lint::lintCircuit(c, e);
+    EXPECT_EQ(codeCount(e, "AB108"), 0u);
+}
+
+TEST(CircuitLints, AB108TreatsResetAsKill)
+{
+    // reset lowers to a Measure gate; the reset table tells AB108 it
+    // is a kill, not an observation, so the pre-reset h is dead.
+    const std::string src = std::string(kQasmHeader) +
+                            "qreg q[1]; creg c[1];\n"
+                            "h q[0];\n"
+                            "reset q[0];\n"
+                            "measure q[0] -> c[0];\n";
+    const qasm::ElaboratedCircuit ec =
+        qasm::elaborateWithLines(qasm::parse(src), "reset");
+    lint::CircuitLintOptions options;
+    options.reset_gates = &ec.reset_gates;
+    DiagnosticEngine e;
+    lint::lintCircuit(ec.circuit, e, nullptr, options);
+    EXPECT_EQ(codeCount(e, "AB108"), 1u);
+
+    // Without the reset table the lowered Measure masquerades as an
+    // observation and hides the dead h.
+    DiagnosticEngine blind;
+    lint::lintCircuit(ec.circuit, blind);
+    EXPECT_EQ(codeCount(blind, "AB108"), 0u);
+}
+
 // --------------------------------------------------------------------
 // AST-level lints: AB101, AB102, AB104, AB105
 // --------------------------------------------------------------------
@@ -532,6 +594,39 @@ TEST(ProgramLints, UnusedCregAB104)
     const DiagnosticEngine clean = lintSource(
         "qreg q[2]; creg c[2];\nmeasure q -> c;\n");
     EXPECT_EQ(codeCount(clean, "AB104"), 0u);
+}
+
+TEST(ProgramLints, DeadMeasurementAB109)
+{
+    const DiagnosticEngine e = lintSource("qreg q[2]; creg c[2];\n"
+                                          "measure q[0] -> c[0];\n"
+                                          "measure q[1] -> c[0];\n");
+    ASSERT_EQ(codeCount(e, "AB109"), 1u);
+    const lint::Diagnostic *d = firstCode(e, "AB109");
+    // Reported at the earlier, overwritten measurement, pointing at
+    // the overwriting line.
+    EXPECT_EQ(d->loc.line, 4);
+    EXPECT_NE(d->message.find("line 5"), std::string::npos)
+        << d->message;
+
+    // The final measurement into each bit is pending at end of
+    // program — that is the output, deliberately not reported.
+    const DiagnosticEngine clean =
+        lintSource("qreg q[2]; creg c[2];\n"
+                   "measure q[0] -> c[0];\n"
+                   "measure q[1] -> c[1];\n");
+    EXPECT_EQ(codeCount(clean, "AB109"), 0u);
+}
+
+TEST(ProgramLints, AB109BroadcastOverwrites)
+{
+    // A whole-register measure writes every bit, overwriting both
+    // earlier indexed measurements in one statement.
+    const DiagnosticEngine e = lintSource("qreg q[2]; creg c[2];\n"
+                                          "measure q[0] -> c[0];\n"
+                                          "measure q[1] -> c[1];\n"
+                                          "measure q -> c;\n");
+    EXPECT_EQ(codeCount(e, "AB109"), 2u);
 }
 
 TEST(ProgramLints, WidthMismatchAB105)
@@ -1024,6 +1119,65 @@ TEST(Corpus, SurgeryGridAB204)
     EXPECT_TRUE(JsonChecker(sarif).valid());
     EXPECT_NE(sarif.find("\"ruleId\":\"AB204\""), std::string::npos);
     EXPECT_NE(sarif.find("side >= 2"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Fix loop: lint -> apply fixes -> re-lint clean, fixed point reached
+// --------------------------------------------------------------------
+
+/** Lint @p text the way autobraid_lint does (AST + circuit levels). */
+DiagnosticEngine
+lintQasmText(const std::string &text, const std::string &file)
+{
+    DiagnosticEngine engine;
+    const qasm::Program program = qasm::parse(text);
+    lint::runProgramAnalyses(program, engine, file);
+    qasm::ElaboratedCircuit ec =
+        qasm::elaborateWithLines(program, file);
+    lint::GateProvenance prov;
+    prov.file = file;
+    prov.lines = ec.gate_lines;
+    lint::CircuitLintOptions options;
+    options.reset_gates = &ec.reset_gates;
+    lint::lintCircuit(ec.circuit, engine, &prov, options);
+    return engine;
+}
+
+TEST(Fixes, FixLoopConvergesAndRelintsClean)
+{
+    const std::string file = "fixme.qasm";
+    const std::string text = std::string(kQasmHeader) +
+                             "qreg q[2];\n"    // line 3
+                             "qreg spare[3];\n" // AB103: delete
+                             "creg unused[2];\n" // AB104: delete
+                             "h q[0];\n"        // AB106 pair:
+                             "h q[0];\n"        //   delete both
+                             "cx q[0], q[1];\n";
+    const DiagnosticEngine first = lintQasmText(text, file);
+    EXPECT_GE(codeCount(first, "AB103"), 1u);
+    EXPECT_EQ(codeCount(first, "AB104"), 1u);
+    EXPECT_EQ(codeCount(first, "AB106"), 1u);
+    const auto fixes =
+        lint::collectFixesForFile(first.diagnostics(), file);
+    ASSERT_FALSE(fixes.empty());
+
+    const lint::FixResult fixed = lint::applyFixes(text, fixes);
+    EXPECT_TRUE(fixed.changed);
+    EXPECT_EQ(fixed.skipped, 0u);
+    EXPECT_GE(fixed.applied, 4u); // two decls + the H-H pair
+
+    // The fixed file re-lints clean of every fixable family and
+    // offers no further fixes: the loop converged in one pass.
+    const DiagnosticEngine second = lintQasmText(fixed.text, file);
+    EXPECT_EQ(codeCount(second, "AB103"), 0u);
+    EXPECT_EQ(codeCount(second, "AB104"), 0u);
+    EXPECT_EQ(codeCount(second, "AB106"), 0u);
+    const auto again =
+        lint::collectFixesForFile(second.diagnostics(), file);
+    EXPECT_TRUE(again.empty());
+    const lint::FixResult noop = lint::applyFixes(fixed.text, again);
+    EXPECT_FALSE(noop.changed);
+    EXPECT_EQ(noop.text, fixed.text);
 }
 
 // --------------------------------------------------------------------

@@ -34,6 +34,10 @@
  *                                 (per-gate lifecycle, stall causes,
  *                                 congestion heatmap) as JSON for
  *                                 autobraid_inspect (single input)
+ *     --schedule-out=FILE         write the autobraid-schedule v1 JSON
+ *                                 export (per-gate windows, paths,
+ *                                 layout) for autobraid_certify
+ *                                 (single input; implies the trace)
  *     --metrics-out=FILE          write the telemetry metrics registry
  *                                 as JSON, aggregated over all runs
  *     --draw                      ASCII placement + braid activity
@@ -56,6 +60,10 @@
  * Arguments containing '.' or '/' are treated as QASM paths; anything
  * else goes through the benchmark registry ("qft:100", "im:500:3",
  * "revlib:urf2_277", ...).
+ *
+ * Exit codes (shared across all autobraid tools): 0 success, 1
+ * findings or compilation failure (--lint-werror errors, batch
+ * failures), 2 usage or input parse errors (UserError).
  */
 
 #include <cstdio>
@@ -111,6 +119,7 @@ usage(int code)
         "  --sweep-p  --jobs=N  --route-jobs=N  --timings\n"
         "  --json  --json-trace\n"
         "  --trace-out=FILE  --record-out=FILE  --metrics-out=FILE\n"
+        "  --schedule-out=FILE\n"
         "  --draw  --stats  --list\n"
         "  --lint  --lint-out=FILE  --lint-werror\n"
         "  --lint-suppress=CODES\n");
@@ -192,6 +201,8 @@ parseArgs(int argc, char **argv)
             opts.trace_out = value;
         } else if (matchValue(arg, "--record-out", value)) {
             opts.record_out = value;
+        } else if (matchValue(arg, "--schedule-out", value)) {
+            opts.compile.schedule_out = value;
         } else if (matchValue(arg, "--metrics-out", value)) {
             opts.metrics_out = value;
         } else if (std::strcmp(arg, "--draw") == 0) {
@@ -227,6 +238,12 @@ parseArgs(int argc, char **argv)
     if (!opts.record_out.empty() &&
         (opts.inputs.size() != 1 || opts.compare || opts.sweep_p)) {
         std::fprintf(stderr, "--record-out needs exactly one input "
+                             "and no --compare/--sweep-p\n");
+        usage(2);
+    }
+    if (!opts.compile.schedule_out.empty() &&
+        (opts.inputs.size() != 1 || opts.compare || opts.sweep_p)) {
+        std::fprintf(stderr, "--schedule-out needs exactly one input "
                              "and no --compare/--sweep-p\n");
         usage(2);
     }
@@ -462,6 +479,9 @@ main(int argc, char **argv)
     if (batchable) {
         try {
             return runBatch(opts);
+        } catch (const UserError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
         } catch (const Error &e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
@@ -473,6 +493,9 @@ main(int argc, char **argv)
             const int rc = runOne(opts, input, metrics);
             if (rc != 0)
                 return rc;
+        } catch (const UserError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
         } catch (const Error &e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;

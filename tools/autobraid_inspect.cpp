@@ -22,8 +22,9 @@
  *
  *   autobraid_inspect diff A B [--makespan-threshold=F]
  *       [--stall-threshold=F] [--report=FILE]
- *       Compare two recordings or two metrics-registry JSONs (the
- *       format is auto-detected per file). Prints per-key deltas,
+ *       Compare two recordings or two metrics-registry JSONs
+ *       (--metrics-out on the other tools; the format is
+ *       auto-detected per file). Prints per-key deltas,
  *       optionally writes a text report, and exits 1 when B regresses
  *       beyond the thresholds: makespan by more than F_m (default
  *       0.10) or total stall cycles by more than F_s (default 0.15),

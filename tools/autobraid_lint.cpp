@@ -31,11 +31,16 @@
  *                                  unlike --defects: invariant-
  *                                  violating sets are the point —
  *                                  this is how AB201/AB203 trigger)
+ *     --fix                        apply attached mechanical fixes
+ *                                  (AB103/AB104 unused decls, AB106
+ *                                  adjacent self-inverse pairs) to the
+ *                                  QASM files in place; idempotent
  *     --quiet                      suppress the text report
  *     --list                       list the diagnostic catalog
  *
- * Exit status: 0 = no error-level diagnostics, 1 = errors (including
- * warnings promoted by --werror) or an input failure, 2 = bad usage.
+ * Exit status (shared across all autobraid tools): 0 = no error-level
+ * diagnostics, 1 = errors (including warnings promoted by --werror),
+ * 2 = bad usage or an input parse failure.
  */
 
 #include <cstdio>
@@ -43,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/fixit.hpp"
 #include "analysis/lint.hpp"
 #include "common/error.hpp"
 #include "common/text.hpp"
@@ -68,6 +74,7 @@ struct LintCliOptions
     int defects = 0;
     std::vector<VertexId> dead;
     bool quiet = false;
+    bool fix = false;
     std::string sarif_out;
     std::string metrics_out;
     std::vector<std::string> inputs;
@@ -83,7 +90,7 @@ usage(int code)
         "  --sarif-out=FILE  --metrics-out=FILE\n"
         "  --policy=baseline|sp|full  --distance=D\n"
         "  --teleport=HOLD  --seed=S  --defects=N  --dead=V1,V2,...\n"
-        "  --quiet  --list\n");
+        "  --fix  --quiet  --list\n");
     std::exit(code);
 }
 
@@ -156,6 +163,8 @@ parseArgs(int argc, char **argv)
             for (const std::string &v : split(value, ','))
                 opts.dead.push_back(
                     static_cast<VertexId>(std::stoul(v)));
+        } else if (std::strcmp(arg, "--fix") == 0) {
+            opts.fix = true;
         } else if (std::strcmp(arg, "--quiet") == 0) {
             opts.quiet = true;
         } else if (arg[0] == '-') {
@@ -185,6 +194,7 @@ lintInput(const LintCliOptions &opts, const std::string &input,
     Circuit circuit(1);
     lint::GateProvenance prov;
     const lint::GateProvenance *prov_ptr = nullptr;
+    std::vector<GateIdx> reset_gates;
 
     if (isQasmPath(input)) {
         const qasm::Program program = qasm::parseFile(input);
@@ -199,6 +209,7 @@ lintInput(const LintCliOptions &opts, const std::string &input,
             prov.file = input;
             prov.lines = std::move(ec.gate_lines);
             prov_ptr = &prov;
+            reset_gates = std::move(ec.reset_gates);
         } catch (const UserError &e) {
             std::fprintf(stderr, "%s: not elaborated: %s\n",
                          input.c_str(), e.what());
@@ -230,9 +241,32 @@ lintInput(const LintCliOptions &opts, const std::string &input,
 
     lint::LintRunConfig run;
     run.hold = lint::effectiveHold(opts.cost, opts.teleport_hold);
+    run.circuit.reset_gates = &reset_gates;
     lint::runCircuitAnalyses(circuit, grid, dead, &placement, engine,
                              prov_ptr, run);
     return true;
+}
+
+/** Apply the engine's attached fixes to every linted QASM file. */
+void
+applyFixesInPlace(const LintCliOptions &opts,
+                  const lint::DiagnosticEngine &engine)
+{
+    for (const std::string &input : opts.inputs) {
+        if (!isQasmPath(input))
+            continue;
+        const std::vector<lint::FixReplacement> fixes =
+            lint::collectFixesForFile(engine.diagnostics(), input);
+        if (fixes.empty())
+            continue;
+        const lint::FixResult result =
+            lint::applyFixes(readTextFile(input), fixes);
+        if (result.changed)
+            writeTextFile(input, result.text);
+        std::fprintf(stderr,
+                     "%s: %zu fix(es) applied, %zu skipped\n",
+                     input.c_str(), result.applied, result.skipped);
+    }
 }
 
 } // namespace
@@ -270,6 +304,14 @@ main(int argc, char **argv)
         if (!text.empty())
             std::fputs(text.c_str(), stdout);
     }
+    if (opts.fix) {
+        try {
+            applyFixesInPlace(opts, engine);
+        } catch (const Error &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     if (!opts.sarif_out.empty()) {
         const std::string sarif = engine.toSarif() + "\n";
         try {
@@ -291,5 +333,9 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    return (engine.hasErrors() || input_failed) ? 1 : 0;
+    // Shared tool convention: 2 = the input itself failed to parse,
+    // 1 = the analyses found error-level problems with valid input.
+    if (input_failed)
+        return 2;
+    return engine.hasErrors() ? 1 : 0;
 }
