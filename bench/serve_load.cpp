@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Load-test harness for the persistent compile service.
+ *
+ * Drives a CompileService in-process with a fixed client mix and
+ * reports sustained request throughput plus client-observed latency
+ * quantiles for three phases:
+ *
+ *  1. cold     — first compile of every circuit in the mix (cache
+ *                misses that populate the content-addressed cache);
+ *  2. cached   — concurrent clients replaying the same mix; every
+ *                request is answered from the stored reply bytes;
+ *  3. burst    — a submission burst beyond queue capacity against a
+ *                tiny service, demonstrating structured queue_full
+ *                shedding with zero lost or crashed requests.
+ *
+ * The run fails (exit 1) if cached repeats are not at least 10x
+ * faster at the median than cold compiles, if any cached reply
+ * differs from its cold compile byte-for-byte, or if the burst loses
+ * a request. Set AB_QUICK=1 for a reduced mix.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "serve/service.hpp"
+
+using namespace autobraid;
+using namespace autobraid::bench;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::vector<std::string>
+requestMix(bool quick)
+{
+    const std::vector<std::string> specs =
+        quick ? std::vector<std::string>{"qft:8", "bv:16", "qaoa:8"}
+              : std::vector<std::string>{"qft:16", "qft:24", "bv:32",
+                                         "cc:24", "im:25:2",
+                                         "qaoa:16", "adder:4",
+                                         "grover:4"};
+    std::vector<std::string> requests;
+    requests.reserve(specs.size());
+    for (const std::string &spec : specs)
+        requests.push_back("{\"spec\":\"" + spec + "\"}");
+    return requests;
+}
+
+double
+quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/** The deterministic "report":{...} suffix of an ok response. */
+std::string
+reportSubstring(const std::string &response)
+{
+    const size_t pos = response.find("\"report\":");
+    return pos == std::string::npos ? std::string()
+                                    : response.substr(pos);
+}
+
+struct PhaseResult
+{
+    double seconds = 0;
+    std::vector<double> latencies_us;
+    std::vector<std::string> responses;
+};
+
+/** Replay @p requests @p repeats times over @p clients threads. */
+PhaseResult
+runPhase(serve::CompileService &service,
+         const std::vector<std::string> &requests, int clients,
+         int repeats)
+{
+    PhaseResult result;
+    std::mutex mu;
+    const auto start = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c)
+        pool.emplace_back([&] {
+            for (int r = 0; r < repeats; ++r)
+                for (const std::string &request : requests) {
+                    const auto t0 = Clock::now();
+                    std::string response = service.handle(request);
+                    const double us =
+                        std::chrono::duration<double, std::micro>(
+                            Clock::now() - t0)
+                            .count();
+                    std::lock_guard<std::mutex> lock(mu);
+                    result.latencies_us.push_back(us);
+                    result.responses.push_back(std::move(response));
+                }
+        });
+    for (std::thread &t : pool)
+        t.join();
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool quick = quickMode();
+    const std::vector<std::string> mix = requestMix(quick);
+    const int clients = quick ? 2 : 4;
+    const int repeats = quick ? 4 : 16;
+    std::printf("== serve_load: %zu-circuit mix, %d clients x %d "
+                "repeats ==%s\n\n",
+                mix.size(), clients, repeats,
+                quick ? " [AB_QUICK workload]" : "");
+
+    serve::ServiceConfig config;
+    config.workers = 4;
+    serve::CompileService service(config);
+
+    // Phase 1: cold — populate the cache, one client so each request
+    // is a clean miss rather than a thundering herd on the same key.
+    const PhaseResult cold = runPhase(service, mix, 1, 1);
+    for (const std::string &response : cold.responses)
+        if (json::parse(response).stringOr("status", "") != "ok") {
+            std::fprintf(stderr, "cold compile failed: %s\n",
+                         response.c_str());
+            return 1;
+        }
+
+    // Phase 2: cached — concurrent clients replay the mix.
+    const PhaseResult cached = runPhase(service, mix, clients,
+                                        repeats);
+    size_t hits = 0;
+    for (const std::string &response : cached.responses) {
+        const json::Value doc = json::parse(response);
+        if (doc.stringOr("status", "") != "ok") {
+            std::fprintf(stderr, "cached request failed: %s\n",
+                         response.c_str());
+            return 1;
+        }
+        hits += doc.find("cached")->asBool() ? 1 : 0;
+    }
+
+    // Byte-identity: every cached reply must carry exactly the bytes
+    // of the cold compile that populated its entry.
+    for (size_t i = 0; i < mix.size(); ++i) {
+        const std::string expected =
+            reportSubstring(cold.responses[i]);
+        const std::string warmed =
+            reportSubstring(service.handle(mix[i]));
+        if (expected.empty() || expected != warmed) {
+            std::fprintf(stderr,
+                         "cache reply for %s is not byte-identical "
+                         "to the cold compile\n",
+                         mix[i].c_str());
+            return 1;
+        }
+    }
+
+    const double cold_p50 = quantile(cold.latencies_us, 0.50);
+    const double cold_p99 = quantile(cold.latencies_us, 0.99);
+    const double hit_p50 = quantile(cached.latencies_us, 0.50);
+    const double hit_p99 = quantile(cached.latencies_us, 0.99);
+    const double reqs =
+        static_cast<double>(cached.responses.size());
+
+    Table table({"phase", "requests", "req/s", "p50(us)", "p99(us)"});
+    table.addRow({"cold", std::to_string(cold.responses.size()),
+                  strformat("%.1f", static_cast<double>(
+                                        cold.responses.size()) /
+                                        cold.seconds),
+                  strformat("%.0f", cold_p50),
+                  strformat("%.0f", cold_p99)});
+    table.addRow({"cached", std::to_string(cached.responses.size()),
+                  strformat("%.1f", reqs / cached.seconds),
+                  strformat("%.0f", hit_p50),
+                  strformat("%.0f", hit_p99)});
+    table.print();
+
+    const serve::CacheStats stats = service.cacheStats();
+    std::printf("\ncache: %llu hits / %llu misses / %llu insertions "
+                "(%zu entries)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.insertions),
+                stats.entries);
+    const double speedup = hit_p50 > 0 ? cold_p50 / hit_p50 : 0;
+    std::printf("cached-repeat speedup: %.1fx at p50 (gate: >=10x), "
+                "hit rate %.1f%%\n",
+                speedup, 100.0 * static_cast<double>(hits) / reqs);
+    if (speedup < 10.0) {
+        std::fprintf(stderr,
+                     "FAIL: cached p50 %.0f us is not >=10x faster "
+                     "than cold p50 %.0f us\n",
+                     hit_p50, cold_p50);
+        return 1;
+    }
+
+    // Phase 3: burst shedding — a tiny service, a burst far beyond
+    // queue capacity. Every submission must be answered (ok or a
+    // structured queue_full shed), none lost, none crashed.
+    serve::ServiceConfig tiny;
+    tiny.workers = 2;
+    tiny.queue_depth = 4;
+    tiny.cache_entries = 0;
+    serve::CompileService small(tiny);
+    const int burst = quick ? 32 : 128;
+    std::atomic<int> ok{0}, shed{0}, other{0};
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(8);
+        for (int c = 0; c < 8; ++c)
+            pool.emplace_back([&] {
+                for (int i = 0; i < burst / 8; ++i) {
+                    const json::Value doc = json::parse(
+                        small.handle("{\"spec\":\"bv:16\"}"));
+                    const std::string status =
+                        doc.stringOr("status", "");
+                    if (status == "ok")
+                        ++ok;
+                    else if (status == "shed" &&
+                             doc.stringOr("reason", "") ==
+                                 "queue_full")
+                        ++shed;
+                    else
+                        ++other;
+                }
+            });
+        for (std::thread &t : pool)
+            t.join();
+    }
+    std::printf("\nburst beyond queue capacity: %d submitted, %d ok, "
+                "%d shed (queue_full), %d other\n",
+                burst, ok.load(), shed.load(), other.load());
+    if (ok + shed != burst || other != 0) {
+        std::fprintf(stderr, "FAIL: burst lost or mishandled "
+                             "requests\n");
+        return 1;
+    }
+
+    std::printf("\nCached repeats are answered from stored bytes "
+                "(>=10x faster at p50) and overload degrades to "
+                "structured shed responses, never crashes or lost "
+                "requests.\n");
+    return 0;
+}

@@ -35,9 +35,10 @@ aggregateMetrics(const std::vector<BatchResult> &results)
 BatchCompiler::BatchCompiler(BatchOptions options)
     : options_(options)
 {
-    if (options_.threads < 0)
-        fatal("BatchCompiler: thread count must be >= 0, got %d",
-              options_.threads);
+    if (options_.threads < 0 || options_.threads > kMaxWorkerThreads)
+        fatal("BatchCompiler: thread count must be in [0, %d], "
+              "got %d",
+              kMaxWorkerThreads, options_.threads);
 }
 
 size_t
@@ -93,6 +94,11 @@ BatchCompiler::compileAll()
                 res.ok = true;
             } catch (const std::exception &e) {
                 res.error = e.what();
+            } catch (...) {
+                // A non-std throw used to escape the worker and
+                // std::terminate the whole batch; synthesize an
+                // error string instead so the job fails alone.
+                res.error = "non-standard exception during compile";
             }
         }
     };
@@ -103,11 +109,23 @@ BatchCompiler::compileAll()
         worker();
         return results;
     }
-    std::vector<std::thread> threads;
-    threads.reserve(pool);
+    // Scope guard: if emplace_back throws mid-spawn (thread-resource
+    // exhaustion), the threads already running must still be joined
+    // on the way out or ~thread() calls std::terminate.
+    struct JoinGuard
+    {
+        std::vector<std::thread> threads;
+        ~JoinGuard()
+        {
+            for (std::thread &t : threads)
+                if (t.joinable())
+                    t.join();
+        }
+    } guard;
+    guard.threads.reserve(pool);
     for (size_t t = 0; t < pool; ++t)
-        threads.emplace_back(worker);
-    for (std::thread &t : threads)
+        guard.threads.emplace_back(worker);
+    for (std::thread &t : guard.threads)
         t.join();
     return results;
 }

@@ -1,0 +1,96 @@
+#include "serve/frame.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace autobraid {
+namespace serve {
+
+const char *
+frameStatusName(FrameStatus status)
+{
+    switch (status) {
+    case FrameStatus::Ok:
+        return "ok";
+    case FrameStatus::Eof:
+        return "eof";
+    case FrameStatus::Truncated:
+        return "truncated";
+    case FrameStatus::Oversized:
+        return "oversized";
+    }
+    return "unknown";
+}
+
+void
+writeFrame(std::ostream &out, const std::string &payload)
+{
+    if (payload.size() > 0xffffffffu)
+        panic("frame payload of %zu bytes exceeds the 32-bit length "
+              "prefix",
+              payload.size());
+    const uint32_t n = static_cast<uint32_t>(payload.size());
+    const char header[4] = {
+        static_cast<char>((n >> 24) & 0xff),
+        static_cast<char>((n >> 16) & 0xff),
+        static_cast<char>((n >> 8) & 0xff),
+        static_cast<char>(n & 0xff),
+    };
+    out.write(header, 4);
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out.good())
+        throw UserError("frame write failed: output stream error");
+}
+
+FrameStatus
+readFrame(std::istream &in, std::string &payload, size_t max_bytes)
+{
+    payload.clear();
+    char header[4];
+    in.read(header, 4);
+    if (in.gcount() == 0 && in.eof())
+        return FrameStatus::Eof;
+    if (in.gcount() != 4)
+        return FrameStatus::Truncated;
+    const uint32_t n =
+        (static_cast<uint32_t>(static_cast<unsigned char>(header[0]))
+         << 24) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(header[1]))
+         << 16) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(header[2]))
+         << 8) |
+        static_cast<uint32_t>(static_cast<unsigned char>(header[3]));
+    if (n > max_bytes) {
+        // Consume the announced bytes so the next header starts at a
+        // frame boundary; a short read here means the stream died.
+        size_t remaining = n;
+        char sink[4096];
+        while (remaining > 0 && in.good()) {
+            const size_t chunk =
+                remaining < sizeof(sink) ? remaining : sizeof(sink);
+            in.read(sink, static_cast<std::streamsize>(chunk));
+            remaining -= static_cast<size_t>(in.gcount());
+            if (in.gcount() == 0)
+                break;
+        }
+        return remaining == 0 ? FrameStatus::Oversized
+                              : FrameStatus::Truncated;
+    }
+    payload.resize(n);
+    if (n > 0) {
+        in.read(payload.data(), static_cast<std::streamsize>(n));
+        if (static_cast<size_t>(in.gcount()) != n) {
+            payload.clear();
+            return FrameStatus::Truncated;
+        }
+    }
+    return FrameStatus::Ok;
+}
+
+} // namespace serve
+} // namespace autobraid

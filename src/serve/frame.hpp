@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Length-prefixed framing for the compile service.
+ *
+ * One frame = a 4-byte big-endian payload length followed by that many
+ * payload bytes (UTF-8 JSON in this protocol, but the framing layer is
+ * payload-agnostic). The fixed-width binary prefix makes the stream
+ * self-describing without any in-band delimiters, so payloads may
+ * contain newlines or arbitrary bytes.
+ *
+ * Reading distinguishes the four ways a stream can end or lie:
+ *  - Ok:        a complete frame was read;
+ *  - Eof:       clean end of stream before the first header byte
+ *               (normal session termination);
+ *  - Truncated: the stream died mid-header or mid-payload;
+ *  - Oversized: the header announces more than @p max_bytes. The
+ *               payload is consumed and discarded so the caller can
+ *               reject the request and keep the session alive.
+ */
+
+#ifndef AUTOBRAID_SERVE_FRAME_HPP
+#define AUTOBRAID_SERVE_FRAME_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace autobraid {
+namespace serve {
+
+/** Default per-frame payload cap (8 MiB). */
+constexpr size_t kDefaultMaxFrameBytes = 8u << 20;
+
+/** Outcome of one readFrame() call. */
+enum class FrameStatus
+{
+    Ok,        ///< complete frame delivered
+    Eof,       ///< clean end of stream (no partial frame)
+    Truncated, ///< stream ended mid-header or mid-payload
+    Oversized, ///< announced length exceeds the cap; frame skipped
+};
+
+/** Stable lowercase name for @p status ("ok", "eof", ...). */
+const char *frameStatusName(FrameStatus status);
+
+/**
+ * Write @p payload as one frame to @p out. Raises InternalError when
+ * the payload exceeds the 32-bit length prefix; UserError on stream
+ * write failure.
+ */
+void writeFrame(std::ostream &out, const std::string &payload);
+
+/**
+ * Read one frame into @p payload. On Oversized the announced bytes
+ * are consumed and discarded (best effort) so the stream stays
+ * aligned; @p payload is cleared for every non-Ok status.
+ */
+FrameStatus readFrame(std::istream &in, std::string &payload,
+                      size_t max_bytes = kDefaultMaxFrameBytes);
+
+} // namespace serve
+} // namespace autobraid
+
+#endif // AUTOBRAID_SERVE_FRAME_HPP

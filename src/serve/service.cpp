@@ -1,0 +1,547 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <future>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/text.hpp"
+#include "compiler/driver.hpp"
+#include "gen/registry.hpp"
+#include "qasm/elaborator.hpp"
+
+namespace autobraid {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+elapsedMicros(Clock::time_point since)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+/** Render a request "id" value back as JSON (echoed verbatim). */
+std::string
+renderId(const json::Value *id)
+{
+    if (id == nullptr || id->isNull())
+        return "null";
+    if (id->isBool())
+        return id->asBool() ? "true" : "false";
+    if (id->isString())
+        return "\"" + jsonEscape(id->asString()) + "\"";
+    if (id->isNumber()) {
+        const double d = id->asNumber();
+        if (d == std::floor(d) && std::fabs(d) < 9.0e15)
+            return strformat("%lld", static_cast<long long>(d));
+        return strformat("%.17g", d);
+    }
+    throw UserError("request 'id' must be a string, number, bool, "
+                    "or null");
+}
+
+std::string
+envelopeHead(const std::string &id_json, const char *status)
+{
+    return strformat(
+        "{\"format\":\"autobraid-serve\",\"v\":%d,\"id\":%s,"
+        "\"status\":\"%s\"",
+        kServeProtocolVersion, id_json.c_str(), status);
+}
+
+std::string
+errorResponse(const std::string &id_json, const std::string &message)
+{
+    return envelopeHead(id_json, "error") + ",\"error\":\"" +
+           jsonEscape(message) + "\"}";
+}
+
+std::string
+shedResponse(const std::string &id_json, const char *reason,
+             uint64_t latency_us)
+{
+    return envelopeHead(id_json, "shed") +
+           strformat(",\"reason\":\"%s\",\"latency_us\":%llu}",
+                     reason,
+                     static_cast<unsigned long long>(latency_us));
+}
+
+/**
+ * The deterministic reply body: simulated-time metrics and counters
+ * only — no wall clock — so replies are byte-identical across
+ * workers, runs, and cache hits (the cache stores exactly this
+ * string).
+ */
+std::string
+reportBody(const CompileReport &report)
+{
+    std::string out = strformat(
+        "{\"circuit\":\"%s\",\"policy\":\"%s\",\"backend\":\"%s\","
+        "\"qubits\":%d,\"gates\":%zu,\"grid\":%d,"
+        "\"critical_path\":%llu,\"makespan\":%llu,"
+        "\"cp_ratio\":%.9f,\"braids\":%zu,\"swaps\":%zu,"
+        "\"failures\":%zu,\"used_maslov\":%s,\"valid\":%s,"
+        "\"counters\":{",
+        jsonEscape(report.circuit_name).c_str(),
+        policyName(report.policy), backendName(report.backend),
+        report.num_qubits, report.num_gates, report.grid_side,
+        static_cast<unsigned long long>(report.critical_path),
+        static_cast<unsigned long long>(report.result.makespan),
+        report.cpRatio(), report.result.braids_routed,
+        report.result.swaps_inserted, report.result.routing_failures,
+        report.used_maslov ? "true" : "false",
+        report.result.valid ? "true" : "false");
+    bool first = true;
+    for (const auto &[name, value] : report.counters) {
+        out += strformat("%s\"%s\":%ld", first ? "" : ",",
+                         jsonEscape(name).c_str(), value);
+        first = false;
+    }
+    out += "},\"metrics_summary\":\"" +
+           jsonEscape(report.metricsSummary()) + "\"}";
+    return out;
+}
+
+/** One parsed compile request (everything but the circuit). */
+struct ParsedRequest
+{
+    std::string id_json = "null";
+    std::string op;   ///< non-empty for control requests
+    std::string qasm; ///< exactly one of qasm/spec set
+    std::string spec;
+    CompileOptions options;
+    uint64_t deadline_ms = 0;
+    bool use_cache = true;
+};
+
+int
+asBoundedInt(const json::Value &v, const char *field, long long min,
+             long long max)
+{
+    if (!v.isNumber())
+        throw UserError(std::string("request option '") + field +
+                        "' must be a number");
+    const double d = v.asNumber();
+    if (d != std::floor(d) || d < static_cast<double>(min) ||
+        d > static_cast<double>(max))
+        throw UserError(strformat(
+            "request option '%s' must be an integer in [%lld, %lld]",
+            field, min, max));
+    return static_cast<int>(d);
+}
+
+ParsedRequest
+parseRequest(const std::string &request_json,
+             uint64_t default_deadline_ms)
+{
+    const json::Value doc = json::parse(request_json);
+    if (!doc.isObject())
+        throw UserError("request must be a JSON object");
+
+    ParsedRequest req;
+    req.deadline_ms = default_deadline_ms;
+    req.id_json = renderId(doc.find("id"));
+    if (const json::Value *op = doc.find("op")) {
+        req.op = op->asString();
+        return req;
+    }
+
+    const json::Value *qasm = doc.find("qasm");
+    const json::Value *spec = doc.find("spec");
+    if ((qasm == nullptr) == (spec == nullptr))
+        throw UserError(
+            "request needs exactly one of 'qasm' or 'spec'");
+    if (qasm)
+        req.qasm = qasm->asString();
+    else
+        req.spec = spec->asString();
+
+    if (const json::Value *v = doc.find("deadline_ms"))
+        req.deadline_ms = static_cast<uint64_t>(asBoundedInt(
+            *v, "deadline_ms", 0, 1000LL * 86400));
+    if (const json::Value *v = doc.find("use_cache")) {
+        if (!v->isBool())
+            throw UserError("request 'use_cache' must be a bool");
+        req.use_cache = v->asBool();
+    }
+
+    const json::Value *options = doc.find("options");
+    if (options == nullptr)
+        return req;
+    if (!options->isObject())
+        throw UserError("request 'options' must be an object");
+    CompileOptions &o = req.options;
+    for (const auto &[key, value] : options->asObject()) {
+        if (key == "policy")
+            o.policy = parsePolicyName(value.asString());
+        else if (key == "backend")
+            o.backend = parseBackendName(value.asString());
+        else if (key == "distance")
+            o.cost.distance =
+                asBoundedInt(value, "distance", 1, 10'000);
+        else if (key == "p") {
+            if (!value.isNumber() || value.asNumber() < 0.0 ||
+                value.asNumber() > 1.0)
+                throw UserError(
+                    "request option 'p' must be in [0, 1]");
+            o.p_threshold = value.asNumber();
+        } else if (key == "seed") {
+            if (!value.isNumber() ||
+                value.asNumber() != std::floor(value.asNumber()) ||
+                value.asNumber() < 0)
+                throw UserError("request option 'seed' must be a "
+                                "non-negative integer");
+            o.seed = static_cast<uint64_t>(value.asNumber());
+        } else if (key == "teleport")
+            o.channel_hold_cycles = static_cast<Cycles>(
+                asBoundedInt(value, "teleport", 0, 1'000'000'000));
+        else if (key == "route_jobs")
+            o.route_jobs = asBoundedInt(value, "route_jobs", 1,
+                                        kMaxWorkerThreads);
+        else if (key == "maslov") {
+            if (!value.isBool())
+                throw UserError(
+                    "request option 'maslov' must be a bool");
+            o.allow_maslov = value.asBool();
+        } else
+            throw UserError("unknown request option '" + key + "'");
+    }
+    return req;
+}
+
+} // namespace
+
+const std::vector<double> &
+serveLatencyBounds()
+{
+    // 1 us .. 2^26 us (~67 s) in powers of two: enough resolution for
+    // cache hits (microseconds) and cold compiles (seconds) alike.
+    static const std::vector<double> bounds = [] {
+        std::vector<double> b;
+        for (int i = 0; i <= 26; ++i)
+            b.push_back(static_cast<double>(1ULL << i));
+        return b;
+    }();
+    return bounds;
+}
+
+struct CompileService::Job
+{
+    std::string id_json;
+    // Placeholder width: Circuit rejects zero-qubit construction, and
+    // every queued job overwrites this with the parsed circuit.
+    Circuit circuit{1};
+    CompileOptions options;
+    CacheKey key;
+    std::string canonical;
+    bool use_cache = true;
+    uint64_t deadline_ms = 0;
+    Clock::time_point admitted;
+    std::function<void(std::string)> done;
+};
+
+CompileService::CompileService(ServiceConfig config)
+    : config_(config), cache_(config.cache_entries)
+{
+    if (config_.workers < 0 ||
+        config_.workers > kMaxWorkerThreads)
+        fatal("serve workers must be in [0, %d], got %d",
+              kMaxWorkerThreads, config_.workers);
+    if (config_.queue_depth == 0)
+        fatal("serve queue depth must be >= 1");
+    int workers = config_.workers;
+    if (workers == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? static_cast<int>(hw) : 1;
+        if (workers > kMaxWorkerThreads)
+            workers = kMaxWorkerThreads;
+    }
+    metrics_.set("serve.workers", workers);
+    metrics_.set("serve.queue_capacity",
+                 static_cast<double>(config_.queue_depth));
+    workers_.reserve(static_cast<size_t>(workers));
+    try {
+        for (int i = 0; i < workers; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Mirror BatchCompiler: a mid-spawn failure must stop and
+        // join the threads already running before propagating.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stopping_ = true;
+        }
+        work_ready_.notify_all();
+        for (std::thread &t : workers_)
+            if (t.joinable())
+                t.join();
+        throw;
+    }
+}
+
+CompileService::~CompileService()
+{
+    shutdown();
+}
+
+void
+CompileService::submit(std::string request_json,
+                       std::function<void(std::string)> done)
+{
+    const Clock::time_point t0 = Clock::now();
+    metrics_.add("serve.requests");
+
+    ParsedRequest req;
+    try {
+        req = parseRequest(request_json,
+                           config_.default_deadline_ms);
+    } catch (const Error &e) {
+        metrics_.add("serve.errors");
+        done(errorResponse("null", e.what()));
+        return;
+    }
+
+    if (!req.op.empty()) {
+        metrics_.add("serve.control");
+        if (req.op == "ping") {
+            done(envelopeHead(req.id_json, "ok") +
+                 ",\"op\":\"pong\"}");
+        } else if (req.op == "metrics") {
+            done(envelopeHead(req.id_json, "ok") +
+                 ",\"op\":\"metrics\",\"metrics\":" +
+                 metricsSnapshot().toJson() + "}");
+        } else if (req.op == "shutdown") {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                shutdown_requested_ = true;
+            }
+            done(envelopeHead(req.id_json, "ok") +
+                 ",\"op\":\"shutdown\"}");
+        } else {
+            metrics_.add("serve.errors");
+            done(errorResponse(req.id_json,
+                               "unknown op '" + req.op + "'"));
+        }
+        return;
+    }
+
+    Job job;
+    job.id_json = req.id_json;
+    job.options = req.options;
+    job.use_cache = req.use_cache && cache_.capacity() > 0;
+    job.deadline_ms = req.deadline_ms;
+    job.admitted = t0;
+    job.done = std::move(done);
+    try {
+        job.circuit = req.spec.empty()
+                          ? qasm::parseToCircuit(req.qasm)
+                          : gen::make(req.spec);
+        job.options.validate(job.circuit);
+    } catch (const Error &e) {
+        metrics_.add("serve.errors");
+        job.done(errorResponse(job.id_json, e.what()));
+        return;
+    }
+
+    if (job.use_cache) {
+        job.canonical = cacheCanonical(job.circuit, job.options);
+        job.key = cacheKey(job.circuit, job.options);
+        if (const auto body =
+                cache_.lookup(job.key, job.canonical)) {
+            const uint64_t us = elapsedMicros(t0);
+            metrics_.add("serve.ok");
+            metrics_.observe("serve.latency_us",
+                             static_cast<double>(us),
+                             serveLatencyBounds());
+            metrics_.observe("serve.latency_us.hit",
+                             static_cast<double>(us),
+                             serveLatencyBounds());
+            job.done(envelopeHead(job.id_json, "ok") +
+                     strformat(",\"cached\":true,\"cache_key\":"
+                               "\"%s\",\"latency_us\":%llu,"
+                               "\"report\":",
+                               job.key.toHex().c_str(),
+                               static_cast<unsigned long long>(us)) +
+                     *body + "}");
+            return;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.size() >= config_.queue_depth) {
+            metrics_.add("serve.shed.queue_full");
+            job.done(shedResponse(job.id_json, "queue_full",
+                                  elapsedMicros(t0)));
+            return;
+        }
+        queue_.push_back(std::move(job));
+        metrics_.set("serve.queue_depth",
+                     static_cast<double>(queue_.size()));
+    }
+    work_ready_.notify_one();
+}
+
+std::string
+CompileService::handle(const std::string &request_json)
+{
+    std::promise<std::string> promise;
+    std::future<std::string> future = promise.get_future();
+    submit(request_json, [&promise](std::string response) {
+        promise.set_value(std::move(response));
+    });
+    return future.get();
+}
+
+std::string
+CompileService::compileRequest(const Job &job, bool &cached)
+{
+    cached = false;
+    const CompileReport report =
+        compileCircuit(job.circuit, job.options);
+    std::string body = reportBody(report);
+    if (job.use_cache)
+        cache_.insert(job.key, job.canonical, body);
+    return body;
+}
+
+void
+CompileService::finishJob(Job &&job)
+{
+    if (config_.worker_hook)
+        config_.worker_hook();
+
+    const uint64_t waited_ms =
+        elapsedMicros(job.admitted) / 1000;
+    if (job.deadline_ms > 0 && waited_ms > job.deadline_ms) {
+        metrics_.add("serve.shed.deadline");
+        job.done(shedResponse(job.id_json, "deadline",
+                              elapsedMicros(job.admitted)));
+        return;
+    }
+
+    std::string response;
+    try {
+        bool cached = false;
+        const std::string body = compileRequest(job, cached);
+        const uint64_t us = elapsedMicros(job.admitted);
+        metrics_.add("serve.ok");
+        metrics_.observe("serve.latency_us",
+                         static_cast<double>(us),
+                         serveLatencyBounds());
+        metrics_.observe("serve.latency_us.miss",
+                         static_cast<double>(us),
+                         serveLatencyBounds());
+        response =
+            envelopeHead(job.id_json, "ok") +
+            strformat(",\"cached\":false%s,\"latency_us\":%llu,"
+                      "\"report\":",
+                      job.use_cache
+                          ? (",\"cache_key\":\"" +
+                             job.key.toHex() + "\"")
+                                .c_str()
+                          : "",
+                      static_cast<unsigned long long>(us)) +
+            body + "}";
+    } catch (const std::exception &e) {
+        metrics_.add("serve.errors");
+        response = errorResponse(job.id_json, e.what());
+    } catch (...) {
+        // A non-std throw from a pass must degrade to a structured
+        // error reply, never terminate the pool (same hardening as
+        // BatchCompiler::compileAll).
+        metrics_.add("serve.errors");
+        response = errorResponse(job.id_json,
+                                 "non-standard exception during "
+                                 "compile");
+    }
+    job.done(std::move(response));
+}
+
+void
+CompileService::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_ready_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (stopping_ && queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+            metrics_.set("serve.queue_depth",
+                         static_cast<double>(queue_.size()));
+        }
+        finishJob(std::move(job));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --in_flight_;
+        }
+        idle_.notify_all();
+    }
+}
+
+void
+CompileService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] {
+        return queue_.empty() && in_flight_ == 0;
+    });
+}
+
+void
+CompileService::shutdown()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+bool
+CompileService::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_requested_;
+}
+
+telemetry::MetricsRegistry
+CompileService::metricsSnapshot() const
+{
+    telemetry::MetricsRegistry out(metrics_);
+    const CacheStats stats = cache_.stats();
+    out.add("serve.cache.hits",
+            static_cast<long long>(stats.hits));
+    out.add("serve.cache.misses",
+            static_cast<long long>(stats.misses));
+    out.add("serve.cache.insertions",
+            static_cast<long long>(stats.insertions));
+    out.add("serve.cache.evictions",
+            static_cast<long long>(stats.evictions));
+    out.set("serve.cache.entries",
+            static_cast<double>(stats.entries));
+    out.set("serve.cache.capacity",
+            static_cast<double>(stats.capacity));
+    return out;
+}
+
+} // namespace serve
+} // namespace autobraid

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ServeSession — pumps length-prefixed frames between a stream pair
+ * and a CompileService.
+ *
+ * The session reads one request frame at a time, submits it, and
+ * writes each response as its own frame as soon as it completes —
+ * responses may interleave out of request order under multiple
+ * workers (clients match them by "id"). Frame-level failures get
+ * structured error responses where the stream allows it: an
+ * oversized frame is skipped and answered with a "frame_oversized"
+ * error; a truncated stream terminates the session with exit status
+ * 1. EOF and a {"op":"shutdown"} request both drain every admitted
+ * request before returning 0, so no in-flight work is ever lost.
+ */
+
+#ifndef AUTOBRAID_SERVE_SESSION_HPP
+#define AUTOBRAID_SERVE_SESSION_HPP
+
+#include <iosfwd>
+
+#include "serve/frame.hpp"
+#include "serve/service.hpp"
+
+namespace autobraid {
+namespace serve {
+
+/** Per-session knobs. */
+struct SessionConfig
+{
+    /** Reject request frames larger than this (see FrameStatus). */
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/**
+ * Run one framed session over @p in / @p out against @p service.
+ * Returns the session exit status: 0 on clean shutdown (EOF or
+ * shutdown request, after draining), 1 when the input stream died
+ * mid-frame.
+ */
+int runSession(std::istream &in, std::ostream &out,
+               CompileService &service, SessionConfig config = {});
+
+} // namespace serve
+} // namespace autobraid
+
+#endif // AUTOBRAID_SERVE_SESSION_HPP

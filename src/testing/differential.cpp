@@ -6,6 +6,7 @@
 #include "analysis/certify.hpp"
 #include "analysis/lint.hpp"
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/text.hpp"
 #include "compiler/batch.hpp"
 #include "place/initial.hpp"
@@ -39,8 +40,13 @@ parsePolicyMask(const std::string &text)
 {
     if (!text.empty() &&
         text.find_first_not_of("0123456789") == std::string::npos) {
+        // Checked parse: std::stoul would throw std::out_of_range on
+        // overflowing digit strings, escaping the UserError contract.
+        // Extra high bits are still masked off, as before.
         const unsigned mask =
-            static_cast<unsigned>(std::stoul(text)) & kMaskAll;
+            static_cast<unsigned>(
+                parseCheckedUInt(text, "--policy-mask")) &
+            kMaskAll;
         if (mask == 0)
             throw UserError("policy mask selects no policies: " +
                             text);

@@ -7,17 +7,25 @@
  * regression test for the historical bug where --teleport and --stats
  * existed in usage() but were missing from the header comment. The
  * shared exit-code convention (0 success, 1 findings/regression,
- * 2 usage or input parse error) is asserted across all five tools.
+ * 2 usage or input parse error) is asserted across all six tools —
+ * both statically (source must wire UserError to return 2) and
+ * dynamically, by invoking each built binary (paths injected via
+ * AB_*_BIN) with malformed numeric flags and asserting exit code 2.
+ * The dynamic half is the regression test for the historical bug
+ * where a raw std::stoi aborted the whole process on "--seeds=banana"
+ * instead of printing the offending value.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -49,6 +57,7 @@ constexpr ToolSource kTools[] = {
     {"autobraid_lint", AB_LINT_SOURCE},
     {"autobraid_inspect", AB_INSPECT_SOURCE},
     {"autobraid_certify", AB_CERTIFY_SOURCE},
+    {"autobraid_serve", AB_SERVE_SOURCE},
 };
 
 /** Every distinct "--flag" token in @p text. */
@@ -164,6 +173,81 @@ TEST(ToolDoc, SharedExitCodeConvention)
             << tool.name << " must distinguish user errors";
         EXPECT_NE(src.find("return 2"), std::string::npos)
             << tool.name << " must exit 2 on user errors";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dynamic exit-code checks: run the built binaries with malformed
+// numeric flags. Every case must terminate with exit code 2 — never a
+// std::terminate/abort (the raw-stoi failure mode) and never a silent
+// success.
+
+/** Run @p command with silenced output; returns the exit code. */
+int
+runTool(const std::string &command)
+{
+    const int status =
+        std::system((command + " >/dev/null 2>&1").c_str());
+    if (status < 0)
+        return -1;
+#ifdef WEXITSTATUS
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return WEXITSTATUS(status);
+#else
+    return status;
+#endif
+}
+
+struct BadFlagCase
+{
+    const char *tool;
+    const char *bin;
+    const char *args;
+};
+
+const BadFlagCase kBadFlagCases[] = {
+    // Non-numeric values.
+    {"autobraid_cli", AB_CLI_BIN, "--distance=banana qft:4"},
+    {"autobraid_cli", AB_CLI_BIN, "--p=nope qft:4"},
+    {"autobraid_cli", AB_CLI_BIN, "--seed=x qft:4"},
+    {"autobraid_fuzz", AB_FUZZ_BIN, "--seeds=banana"},
+    {"autobraid_fuzz", AB_FUZZ_BIN, "--budget-seconds=soon"},
+    {"autobraid_lint", AB_LINT_BIN, "--distance=banana qft:4"},
+    {"autobraid_lint", AB_LINT_BIN, "--dead=1,x,3 qft:4"},
+    {"autobraid_inspect", AB_INSPECT_BIN, "summary --top=banana"},
+    {"autobraid_inspect", AB_INSPECT_BIN,
+     "diff --makespan-threshold=huge"},
+    {"autobraid_serve", AB_SERVE_BIN, "--workers=banana"},
+    // Trailing junk a raw strtol would silently accept.
+    {"autobraid_cli", AB_CLI_BIN, "--distance=33x qft:4"},
+    {"autobraid_fuzz", AB_FUZZ_BIN, "--seeds=10abc"},
+    // Out-of-range values.
+    {"autobraid_cli", AB_CLI_BIN, "--jobs=0 qft:4"},
+    {"autobraid_cli", AB_CLI_BIN, "--jobs=100000 qft:4"},
+    {"autobraid_cli", AB_CLI_BIN, "--route-jobs=0 qft:4"},
+    {"autobraid_cli", AB_CLI_BIN, "--p=1.5 qft:4"},
+    {"autobraid_fuzz", AB_FUZZ_BIN, "--seeds=0"},
+    {"autobraid_fuzz", AB_FUZZ_BIN,
+     "--start-seed=99999999999999999999"},
+    {"autobraid_serve", AB_SERVE_BIN, "--workers=-1"},
+    {"autobraid_serve", AB_SERVE_BIN, "--queue-depth=0"},
+    // Unknown options share the same usage-error exit code.
+    {"autobraid_cli", AB_CLI_BIN, "--no-such-flag qft:4"},
+    {"autobraid_fuzz", AB_FUZZ_BIN, "--no-such-flag"},
+    {"autobraid_lint", AB_LINT_BIN, "--no-such-flag qft:4"},
+    {"autobraid_inspect", AB_INSPECT_BIN, "summary --no-such-flag"},
+    {"autobraid_certify", AB_CERTIFY_BIN, "--no-such-flag"},
+    {"autobraid_serve", AB_SERVE_BIN, "--no-such-flag"},
+};
+
+TEST(ToolExit, MalformedNumericFlagsExitTwo)
+{
+    for (const BadFlagCase &c : kBadFlagCases) {
+        const int code =
+            runTool(std::string(c.bin) + " " + c.args);
+        EXPECT_EQ(code, 2)
+            << c.tool << " " << c.args << " exited " << code;
     }
 }
 

@@ -73,6 +73,7 @@
 
 #include "circuit/stats.hpp"
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/text.hpp"
 #include "gen/registry.hpp"
 #include "place/initial.hpp"
@@ -140,6 +141,11 @@ CliOptions
 parseArgs(int argc, char **argv)
 {
     CliOptions opts;
+    // parseArgs runs outside main's try block; the catch at the
+    // bottom reports checked-parse and name-parse rejections
+    // ("--jobs=abc", "--policy=bogus") as usage errors (exit 2)
+    // instead of letting them escape as uncaught exceptions.
+    try {
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         std::string value;
@@ -152,39 +158,35 @@ parseArgs(int argc, char **argv)
                 std::printf("  %s\n", spec.c_str());
             std::exit(0);
         } else if (matchValue(arg, "--policy", value)) {
-            // parseArgs runs outside main's try block, so parse
-            // errors are reported here instead of propagating.
-            try {
-                opts.compile.policy = parsePolicyName(value);
-            } catch (const UserError &e) {
-                std::fprintf(stderr, "error: %s\n", e.what());
-                usage(2);
-            }
+            opts.compile.policy = parsePolicyName(value);
         } else if (matchValue(arg, "--backend", value)) {
-            try {
-                opts.compile.backend = parseBackendName(value);
-            } catch (const UserError &e) {
-                std::fprintf(stderr, "error: %s\n", e.what());
-                usage(2);
-            }
+            opts.compile.backend = parseBackendName(value);
         } else if (matchValue(arg, "--distance", value)) {
-            opts.compile.cost.distance = std::stoi(value);
+            opts.compile.cost.distance =
+                parseCheckedIntFlag(value, "--distance", 1, 9999);
         } else if (matchValue(arg, "--p", value)) {
-            opts.compile.p_threshold = std::stod(value);
+            opts.compile.p_threshold =
+                parseCheckedDouble(value, "--p", 0.0, 1.0);
         } else if (matchValue(arg, "--seed", value)) {
-            opts.compile.seed =
-                static_cast<uint64_t>(std::stoull(value));
+            opts.compile.seed = parseCheckedUInt(value, "--seed");
         } else if (matchValue(arg, "--defects", value)) {
-            opts.defects = std::stoi(value);
+            opts.defects = parseCheckedIntFlag(value, "--defects",
+                                               0, 1'000'000);
         } else if (matchValue(arg, "--jobs", value)) {
-            opts.jobs = std::stoi(value);
+            // Validated here at parse time: a negative or absurd
+            // count used to be accepted silently and only fatal()ed
+            // later inside BatchCompiler with a worse message.
+            opts.jobs = parseCheckedIntFlag(value, "--jobs", 1,
+                                            kMaxWorkerThreads);
         } else if (matchValue(arg, "--route-jobs", value)) {
-            opts.compile.route_jobs = std::stoi(value);
+            opts.compile.route_jobs = parseCheckedIntFlag(
+                value, "--route-jobs", 1, kMaxWorkerThreads);
         } else if (std::strcmp(arg, "--timings") == 0) {
             opts.timings = true;
         } else if (matchValue(arg, "--teleport", value)) {
             opts.compile.channel_hold_cycles =
-                static_cast<Cycles>(std::stoull(value));
+                static_cast<Cycles>(
+                    parseCheckedUInt(value, "--teleport"));
         } else if (std::strcmp(arg, "--stats") == 0) {
             opts.stats = true;
         } else if (std::strcmp(arg, "--no-maslov") == 0) {
@@ -226,6 +228,10 @@ parseArgs(int argc, char **argv)
         } else {
             opts.inputs.emplace_back(arg);
         }
+    }
+    } catch (const UserError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        usage(2);
     }
     if (opts.inputs.empty())
         usage(2);

@@ -58,6 +58,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/text.hpp"
 #include "compiler/driver.hpp"
 #include "qasm/exporter.hpp"
@@ -131,28 +132,38 @@ parseArgs(int argc, char **argv)
             std::strcmp(arg, "-h") == 0) {
             usage(0);
         } else if (matchValue(argc, argv, i, "--seeds", value)) {
-            opts.fuzz.seeds = std::stoi(value);
+            // Checked parses throw UserError on garbage, trailing
+            // junk, or out-of-range values; main() maps that to the
+            // documented usage exit code 2.
+            opts.fuzz.seeds = parseCheckedIntFlag(
+                value, "--seeds", 1, 100'000'000);
         } else if (matchValue(argc, argv, i, "--start-seed", value)) {
-            opts.fuzz.start_seed = std::stoull(value);
+            opts.fuzz.start_seed =
+                parseCheckedUInt(value, "--start-seed");
         } else if (matchValue(argc, argv, i, "--budget-seconds",
                               value)) {
-            opts.fuzz.budget_seconds = std::stod(value);
+            opts.fuzz.budget_seconds = parseCheckedDouble(
+                value, "--budget-seconds", 0.0, 1e9);
         } else if (matchValue(argc, argv, i, "--policy-mask", value)) {
             opts.fuzz.policy_mask = fuzz::parsePolicyMask(value);
         } else if (matchValue(argc, argv, i, "--backend", value)) {
             opts.fuzz.backend = parseBackendName(value);
         } else if (matchValue(argc, argv, i, "--batch-stride",
                               value)) {
-            opts.fuzz.batch_stride = std::stoi(value);
+            opts.fuzz.batch_stride = parseCheckedIntFlag(
+                value, "--batch-stride", 0, 1'000'000);
         } else if (matchValue(argc, argv, i, "--route-jobs-stride",
                               value)) {
-            opts.fuzz.route_jobs_stride = std::stoi(value);
+            opts.fuzz.route_jobs_stride = parseCheckedIntFlag(
+                value, "--route-jobs-stride", 0, 1'000'000);
         } else if (matchValue(argc, argv, i, "--degenerate-stride",
                               value)) {
-            opts.fuzz.degenerate_stride = std::stoi(value);
+            opts.fuzz.degenerate_stride = parseCheckedIntFlag(
+                value, "--degenerate-stride", 0, 1'000'000);
         } else if (matchValue(argc, argv, i, "--cross-backend-stride",
                               value)) {
-            opts.fuzz.cross_backend_stride = std::stoi(value);
+            opts.fuzz.cross_backend_stride = parseCheckedIntFlag(
+                value, "--cross-backend-stride", 0, 1'000'000);
         } else if (std::strcmp(arg, "--no-lint-oracle") == 0) {
             opts.fuzz.lint_oracle = false;
         } else if (std::strcmp(arg, "--no-certify-oracle") == 0) {

@@ -43,6 +43,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/parse.hpp"
 #include "common/text.hpp"
 #include "telemetry/recorder.hpp"
 #include "viz/json.hpp"
@@ -631,11 +632,15 @@ run(int argc, char **argv)
         } else if (std::strcmp(arg, "--csv") == 0) {
             csv = true;
         } else if (matchValue(arg, "--top", value)) {
-            top_k = std::stoi(value);
+            // Checked parses throw UserError on garbage or range
+            // violations; main() maps that to usage exit code 2.
+            top_k = parseCheckedIntFlag(value, "--top", 0, 1'000'000);
         } else if (matchValue(arg, "--makespan-threshold", value)) {
-            makespan_threshold = std::stod(value);
+            makespan_threshold = parseCheckedDouble(
+                value, "--makespan-threshold", 0.0, 1e6);
         } else if (matchValue(arg, "--stall-threshold", value)) {
-            stall_threshold = std::stod(value);
+            stall_threshold = parseCheckedDouble(
+                value, "--stall-threshold", 0.0, 1e6);
         } else if (arg[0] == '-' && arg[1] != '\0') {
             std::fprintf(stderr, "unknown option '%s'\n", arg);
             usage(2);

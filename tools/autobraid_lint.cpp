@@ -51,6 +51,7 @@
 #include "analysis/fixit.hpp"
 #include "analysis/lint.hpp"
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/text.hpp"
 #include "telemetry/telemetry.hpp"
 #include "compiler/options.hpp"
@@ -108,6 +109,10 @@ LintCliOptions
 parseArgs(int argc, char **argv)
 {
     LintCliOptions opts;
+    // parseArgs runs outside main's try block, so checked-parse and
+    // policy-name rejections (UserError) are reported here instead of
+    // propagating.
+    try {
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         std::string value;
@@ -142,27 +147,22 @@ parseArgs(int argc, char **argv)
         } else if (matchValue(arg, "--metrics-out", value)) {
             opts.metrics_out = value;
         } else if (matchValue(arg, "--policy", value)) {
-            // parseArgs runs outside main's try block, so parse
-            // errors are reported here instead of propagating.
-            try {
-                opts.policy = parsePolicyName(value);
-            } catch (const UserError &e) {
-                std::fprintf(stderr, "error: %s\n", e.what());
-                usage(2);
-            }
+            opts.policy = parsePolicyName(value);
         } else if (matchValue(arg, "--distance", value)) {
-            opts.cost.distance = std::stoi(value);
+            opts.cost.distance =
+                parseCheckedIntFlag(value, "--distance", 1, 9999);
         } else if (matchValue(arg, "--teleport", value)) {
-            opts.teleport_hold =
-                static_cast<Cycles>(std::stoull(value));
+            opts.teleport_hold = static_cast<Cycles>(
+                parseCheckedUInt(value, "--teleport"));
         } else if (matchValue(arg, "--seed", value)) {
-            opts.seed = static_cast<uint64_t>(std::stoull(value));
+            opts.seed = parseCheckedUInt(value, "--seed");
         } else if (matchValue(arg, "--defects", value)) {
-            opts.defects = std::stoi(value);
+            opts.defects = parseCheckedIntFlag(value, "--defects", 0,
+                                               1'000'000);
         } else if (matchValue(arg, "--dead", value)) {
             for (const std::string &v : split(value, ','))
-                opts.dead.push_back(
-                    static_cast<VertexId>(std::stoul(v)));
+                opts.dead.push_back(static_cast<VertexId>(
+                    parseCheckedUInt(v, "--dead", 0xffffffffULL)));
         } else if (std::strcmp(arg, "--fix") == 0) {
             opts.fix = true;
         } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -173,6 +173,10 @@ parseArgs(int argc, char **argv)
         } else {
             opts.inputs.emplace_back(arg);
         }
+    }
+    } catch (const UserError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        usage(2);
     }
     if (opts.inputs.empty())
         usage(2);
